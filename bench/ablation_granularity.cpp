@@ -1,0 +1,77 @@
+// Ablation A9 (DESIGN.md): task granularity vs k.
+//
+// Paper §5.5: "The minimum k required to match work-stealing performance
+// in the hybrid data structure is dependent on task granularity.  The
+// more fine-grained tasks are, the higher the minimum required k" — i.e.
+// with heavier tasks, synchronization amortizes and small k (strong
+// guarantees) becomes affordable.  This bench injects artificial per-task
+// work and sweeps (grain, k) for the hybrid structure against the
+// work-stealing reference at the same grain.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/hybrid_kpq.hpp"
+#include "core/ws_priority.hpp"
+
+namespace {
+using namespace kps;
+using namespace kps::bench;
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  Workload w = workload_from_args(args);
+  if (!args.flag("paper")) {
+    w.n = args.value("n", 1000);  // grain multiplies total work: keep small
+    w.graphs = args.value("graphs", 2);
+  }
+  const std::uint64_t P = args.value("P", 8);
+
+  print_header("Ablation A9: task granularity vs k (hybrid vs WS)", w);
+  std::printf("# P=%llu; grain = xorshift iterations injected per task\n",
+              static_cast<unsigned long long>(P));
+  std::printf("grain,k,hybrid_time_s,ws_time_s,hybrid_relaxed,ws_relaxed,"
+              "hybrid_time_per_ws\n");
+
+  for (std::uint32_t grain : {0u, 200u, 2000u}) {
+    // WS reference at this grain.
+    SsspAggregate ws;
+    for (std::uint64_t g = 0; g < w.graphs; ++g) {
+      Graph graph =
+          erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
+      StatsRegistry stats(P);
+      WsPriorityPool<SsspTask> storage(
+          P, StorageConfig{.k_max = 512, .default_k = 512}, &stats);
+      auto r = parallel_sssp(graph, 0, storage, 512, &stats, grain);
+      ws.seconds.add(r.seconds);
+      ws.nodes_relaxed.add(static_cast<double>(r.nodes_relaxed));
+    }
+    for (int k : {1, 16, 512, 8192}) {
+      SsspAggregate hybrid;
+      for (std::uint64_t g = 0; g < w.graphs; ++g) {
+        Graph graph =
+            erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
+        StatsRegistry stats(P);
+        HybridKpq<SsspTask> storage(
+            P, StorageConfig{.k_max = std::max(k, 1),
+                             .default_k = std::max(k, 1)},
+            &stats);
+        auto r = parallel_sssp(graph, 0, storage, k, &stats, grain);
+        hybrid.seconds.add(r.seconds);
+        hybrid.nodes_relaxed.add(static_cast<double>(r.nodes_relaxed));
+      }
+      std::printf("%u,%d,%.4f,%.4f,%.0f,%.0f,%.2f\n", grain, k,
+                  hybrid.seconds.mean(), ws.seconds.mean(),
+                  hybrid.nodes_relaxed.mean(), ws.nodes_relaxed.mean(),
+                  hybrid.seconds.mean() / std::max(1e-9, ws.seconds.mean()));
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n# expectation: at grain 0 (fine tasks) small k costs "
+              "noticeably more than WS (frequent publishes on the hot "
+              "path); at coarse grain the overhead amortizes and even k=1 "
+              "tracks WS — the paper's granularity claim inverted into "
+              "an affordability statement\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Ablation A3 (DESIGN.md): randomized vs linear slot placement in the
+// centralized structure's push (§4.1.1: "Randomization is used to improve
+// scalability when adding elements to the global array").
+//
+// With a linear scan from tail, concurrent pushers all fight for the same
+// first free slot; the random offset spreads them across the k-window.
+// Measured: push CAS failures per push and contended throughput.
+#include <chrono>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/centralized_kpq.hpp"
+#include "core/task_types.hpp"
+
+namespace {
+
+using namespace kps;
+using namespace kps::bench;
+using BenchTask = Task<std::uint64_t, double>;
+
+struct Outcome {
+  double seconds;
+  double cas_failures_per_push;
+};
+
+Outcome run(bool randomize, std::size_t threads, std::uint64_t per_thread,
+            int k) {
+  StorageConfig cfg;
+  cfg.k_max = k;
+  cfg.default_k = k;
+  cfg.randomize_placement = randomize;
+  StatsRegistry stats(threads);
+  CentralizedKpq<BenchTask> storage(threads, cfg, &stats);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> workers;
+  for (std::size_t p = 0; p < threads; ++p) {
+    workers.emplace_back([&, p] {
+      auto& place = storage.place(p);
+      Xoshiro256 rng(p + 1);
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        storage.push(place, k, {rng.next_unit(), i});
+        if (i % 4 == 3) {  // keep the structure from growing unboundedly
+          storage.pop(place);
+          storage.pop(place);
+        }
+      }
+      while (storage.pop(place)) {
+      }
+    });
+  }
+  for (auto& t : workers) t.join();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const auto total = stats.total();
+  Outcome out;
+  out.seconds = std::chrono::duration<double>(t1 - t0).count();
+  out.cas_failures_per_push =
+      static_cast<double>(total.get(Counter::push_cas_failures)) /
+      static_cast<double>(total.get(Counter::tasks_spawned));
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::uint64_t per_thread = args.value("per-thread", 50000);
+  const std::size_t threads = args.value("threads", 4);
+
+  std::printf("# Ablation A3: randomized vs linear slot placement "
+              "(centralized push), %zu threads, %llu pushes/thread\n",
+              threads, static_cast<unsigned long long>(per_thread));
+  std::printf("k,random_time_s,linear_time_s,random_casfail_per_push,"
+              "linear_casfail_per_push\n");
+  for (int k : {8, 64, 512}) {
+    const Outcome random = run(true, threads, per_thread, k);
+    const Outcome linear = run(false, threads, per_thread, k);
+    std::printf("%d,%.4f,%.4f,%.4f,%.4f\n", k, random.seconds,
+                linear.seconds, random.cas_failures_per_push,
+                linear.cas_failures_per_push);
+    std::fflush(stdout);
+  }
+  std::printf("\n# expectation: linear placement is drastically slower at "
+              "large k — every push re-scans the same filled window prefix "
+              "before finding a free slot (O(k) reads), while the random "
+              "offset lands on a free slot in O(1) expected; CAS failures "
+              "stay rare in both modes because the scan, not the CAS, "
+              "absorbs the contention\n");
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Ablation A1 (DESIGN.md): rank error vs k.
+//
+// How far from the true best does a relaxed pop land?  A single-threaded
+// producer/consumer pair makes the live set exactly known, so the rank of
+// every popped task (number of strictly better live tasks it bypassed) is
+// measurable.  ρ-relaxation predicts rank error <= k (centralized) and
+// <= P·k (hybrid); this bench shows the distribution, not just the bound.
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/centralized_kpq.hpp"
+#include "core/global_pq.hpp"
+#include "core/hybrid_kpq.hpp"
+#include "core/task_types.hpp"
+
+namespace {
+
+using namespace kps;
+using namespace kps::bench;
+using BenchTask = Task<std::uint64_t, double>;
+
+struct RankStats {
+  double mean = 0;
+  std::uint64_t max = 0;
+  double p99 = 0;
+};
+
+template <typename S>
+RankStats measure(int k, std::uint64_t tasks, std::uint64_t seed) {
+  S storage(2, StorageConfig{.k_max = std::max(k, 1),
+                             .default_k = std::max(k, 1),
+                             .seed = seed});
+  Xoshiro256 rng(seed);
+  std::multiset<double> live;
+  std::vector<std::uint64_t> ranks;
+  ranks.reserve(tasks);
+
+  std::uint64_t pushed = 0;
+  std::uint64_t popped = 0;
+  while (popped < tasks) {
+    const bool can_push = pushed < tasks;
+    if (can_push && (live.empty() || rng.next_bounded(2) == 0)) {
+      const double prio = rng.next_unit();
+      storage.push(storage.place(0), k, {prio, pushed});
+      live.insert(prio);
+      ++pushed;
+    } else {
+      auto t = storage.pop(storage.place(1));
+      if (!t) t = storage.pop(storage.place(0));
+      if (!t) continue;
+      const auto rank = static_cast<std::uint64_t>(
+          std::distance(live.begin(), live.lower_bound(t->priority)));
+      ranks.push_back(rank);
+      live.erase(live.find(t->priority));
+      ++popped;
+    }
+  }
+
+  std::sort(ranks.begin(), ranks.end());
+  RankStats out;
+  double sum = 0;
+  for (std::uint64_t r : ranks) sum += static_cast<double>(r);
+  out.mean = sum / static_cast<double>(ranks.size());
+  out.max = ranks.back();
+  out.p99 = static_cast<double>(ranks[ranks.size() * 99 / 100]);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  const std::uint64_t tasks = args.value("tasks", 20000);
+
+  std::printf("# Ablation A1: pop rank error vs k (single-threaded oracle, "
+              "%llu tasks, 2 places)\n",
+              static_cast<unsigned long long>(tasks));
+  std::printf("# rank = number of strictly better live tasks bypassed by a "
+              "pop; bound: k (centralized), P*k (hybrid)\n");
+  std::printf(
+      "k,central_mean,central_p99,central_max,hybrid_mean,hybrid_p99,"
+      "hybrid_max,strict_mean\n");
+
+  for (int k : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
+    const auto central = measure<CentralizedKpq<BenchTask>>(k, tasks, 7);
+    const auto hybrid = measure<HybridKpq<BenchTask>>(k, tasks, 7);
+    const auto strict = measure<GlobalLockedPq<BenchTask>>(k, tasks, 7);
+    std::printf("%d,%.3f,%.0f,%llu,%.3f,%.0f,%llu,%.3f\n", k, central.mean,
+                central.p99, static_cast<unsigned long long>(central.max),
+                hybrid.mean, hybrid.p99,
+                static_cast<unsigned long long>(hybrid.max), strict.mean);
+    std::fflush(stdout);
+  }
+  std::printf("\n# expectation: centralized rank error <= k; hybrid <= 2k "
+              "(P=2); strict global queue exactly 0\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation A2 (DESIGN.md): hybrid with spying disabled.
+//
+// Spying lets an out-of-work place reference tasks that are still private
+// to another place; without it, places starve until the next publish.
+// The paper credits spying with the observation that "even with really
+// high values for k ... the wasted work is still half of the wasted work
+// in work stealing" (§5.5).  This bench quantifies spying's effect on
+// pop failures, useless work and time, across k.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/hybrid_kpq.hpp"
+
+namespace {
+using namespace kps;
+using namespace kps::bench;
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  Workload w = workload_from_args(args);
+  const std::uint64_t P = args.value("P", 8);
+
+  print_header("Ablation A2: hybrid k-priority with and without spying", w);
+  std::printf("# P=%llu\n", static_cast<unsigned long long>(P));
+  std::printf(
+      "k,spy_time_s,nospy_time_s,spy_relaxed,nospy_relaxed,"
+      "spy_pop_failures,nospy_pop_failures,spied_items\n");
+
+  for (int k : {16, 128, 1024, 8192, 32768}) {
+    SsspAggregate with_spy;
+    SsspAggregate no_spy;
+    for (std::uint64_t g = 0; g < w.graphs; ++g) {
+      Graph graph =
+          erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
+      StorageConfig on;
+      on.enable_spying = true;
+      run_sssp<HybridKpq<SsspTask>>(graph, P, k, 30 * g + 1, with_spy, on);
+      StorageConfig off;
+      off.enable_spying = false;
+      run_sssp<HybridKpq<SsspTask>>(graph, P, k, 30 * g + 1, no_spy, off);
+    }
+    std::printf("%d,%.4f,%.4f,%.0f,%.0f,%.0f,%.0f,%.0f\n", k,
+                with_spy.seconds.mean(), no_spy.seconds.mean(),
+                with_spy.nodes_relaxed.mean(), no_spy.nodes_relaxed.mean(),
+                static_cast<double>(
+                    with_spy.counters.get(Counter::pop_failures)) /
+                    static_cast<double>(w.graphs),
+                static_cast<double>(
+                    no_spy.counters.get(Counter::pop_failures)) /
+                    static_cast<double>(w.graphs),
+                static_cast<double>(
+                    with_spy.counters.get(Counter::spied_items)) /
+                    static_cast<double>(w.graphs));
+    std::fflush(stdout);
+  }
+  std::printf("\n# expectation: disabling spying inflates pop failures "
+              "(idle places wait for publishes), increasingly so at large "
+              "k where publishes are rare\n");
+  return 0;
+}

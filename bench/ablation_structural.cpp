@@ -1,0 +1,114 @@
+// Ablation A8 (DESIGN.md): temporal vs structural ρ-relaxation in the
+// hybrid structure (paper §5.3).
+//
+// The temporal formulation publishes after k pushes no matter how many of
+// those tasks were already consumed; the structural one publishes only
+// when k live tasks have actually accumulated.  The paper conjectures the
+// structural form "will lead to priority queues with even better
+// scalability ... due to the reduced need for synchronization"; this
+// bench measures exactly that reduction (publish operations) and its
+// effect on useless work and runtime for the SSSP workload.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/hybrid_kpq.hpp"
+#include "core/task_types.hpp"
+
+namespace {
+using namespace kps;
+using namespace kps::bench;
+
+// Prompt-consumption churn: producers push and consumers immediately pop,
+// so live counts stay tiny.  This is the regime where the structural
+// formulation eliminates synchronization entirely, while the temporal one
+// keeps publishing on its push-count clock.
+void churn_phase(bool structural, int k, std::uint64_t ops,
+                 double* seconds, double* publishes) {
+  using ChurnTask = Task<std::uint64_t, double>;
+  StorageConfig cfg;
+  cfg.k_max = k;
+  cfg.default_k = k;
+  cfg.structural_relaxation = structural;
+  StatsRegistry stats(2);
+  HybridKpq<ChurnTask> q(2, cfg, &stats);
+  Xoshiro256 rng(1);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    q.push(q.place(i & 1), k, {rng.next_unit(), i});
+    (void)q.pop(q.place(i & 1));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  *seconds = std::chrono::duration<double>(t1 - t0).count();
+  *publishes = static_cast<double>(stats.total().get(Counter::publishes));
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  Workload w = workload_from_args(args);
+  const std::uint64_t P = args.value("P", 8);
+
+  print_header("Ablation A8: temporal vs structural rho-relaxation (hybrid)",
+               w);
+  std::printf("# P=%llu\n", static_cast<unsigned long long>(P));
+  std::printf(
+      "k,temporal_time_s,structural_time_s,temporal_relaxed,"
+      "structural_relaxed,temporal_publishes,structural_publishes,"
+      "temporal_spied,structural_spied\n");
+
+  for (int k : {4, 16, 64, 256, 1024}) {
+    SsspAggregate temporal;
+    SsspAggregate structural;
+    for (std::uint64_t g = 0; g < w.graphs; ++g) {
+      Graph graph =
+          erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
+      StorageConfig tcfg;
+      tcfg.structural_relaxation = false;
+      run_sssp<HybridKpq<SsspTask>>(graph, P, k, 50 * g + 1, temporal, tcfg);
+      StorageConfig scfg;
+      scfg.structural_relaxation = true;
+      run_sssp<HybridKpq<SsspTask>>(graph, P, k, 50 * g + 1, structural,
+                                    scfg);
+    }
+    const double graphs = static_cast<double>(w.graphs);
+    std::printf("%d,%.4f,%.4f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n", k,
+                temporal.seconds.mean(), structural.seconds.mean(),
+                temporal.nodes_relaxed.mean(),
+                structural.nodes_relaxed.mean(),
+                static_cast<double>(
+                    temporal.counters.get(Counter::publishes)) /
+                    graphs,
+                static_cast<double>(
+                    structural.counters.get(Counter::publishes)) /
+                    graphs,
+                static_cast<double>(
+                    temporal.counters.get(Counter::spied_items)) /
+                    graphs,
+                static_cast<double>(
+                    structural.counters.get(Counter::spied_items)) /
+                    graphs);
+    std::fflush(stdout);
+  }
+  // SSSP spawns in bursts (one relaxation spawns many children), so live
+  // counts track push counts and both modes publish similarly.  The
+  // structural win appears when consumption keeps up with production:
+  std::printf("\n## prompt-consumption churn (push/pop lockstep, 2 places)\n");
+  std::printf("k,temporal_time_s,structural_time_s,temporal_publishes,"
+              "structural_publishes\n");
+  const std::uint64_t ops = args.value("churn-ops", 2000000);
+  for (int k : {4, 16, 64, 256, 1024}) {
+    double ts, tp, ss, sp;
+    churn_phase(false, k, ops, &ts, &tp);
+    churn_phase(true, k, ops, &ss, &sp);
+    std::printf("%d,%.4f,%.4f,%.0f,%.0f\n", k, ts, ss, tp, sp);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n# expectation: on bursty workloads (SSSP) both modes "
+              "publish similarly; on prompt-consumption churn the "
+              "structural mode publishes ~0 times while the temporal mode "
+              "publishes every k pushes — the reduced-synchronization win "
+              "§5.3 predicts\n");
+  return 0;
+}

@@ -1,0 +1,133 @@
+// Shared plumbing for the figure-reproduction harnesses: a tiny flag
+// parser, aggregate statistics, and the storage-parameterized SSSP runner
+// used by Figures 4 & 5 and the ablation benches.
+//
+// Every figure bench runs with scaled-down defaults so the full
+// `for b in build/bench/*; do $b; done` loop completes in minutes on a
+// small machine; pass --paper for the paper-sized configuration
+// (n = 10000, p = 0.5, 20 graphs, P up to 80).
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/storage_traits.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "graph/sssp.hpp"
+#include "support/stats.hpp"
+
+namespace kps::bench {
+
+/// Minimal --flag / --key value parser (no dependencies, fail-fast).
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+  }
+
+  bool flag(const std::string& name) const {
+    return std::find(args_.begin(), args_.end(), "--" + name) != args_.end();
+  }
+
+  std::uint64_t value(const std::string& name, std::uint64_t def) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == "--" + name) {
+        return std::strtoull(args_[i + 1].c_str(), nullptr, 10);
+      }
+    }
+    return def;
+  }
+
+  double value_d(const std::string& name, double def) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == "--" + name) {
+        return std::strtod(args_[i + 1].c_str(), nullptr);
+      }
+    }
+    return def;
+  }
+
+ private:
+  std::vector<std::string> args_;
+};
+
+struct Mean {
+  double sum = 0;
+  double sum_sq = 0;
+  std::uint64_t n = 0;
+
+  void add(double x) {
+    sum += x;
+    sum_sq += x * x;
+    ++n;
+  }
+  double mean() const { return n ? sum / static_cast<double>(n) : 0.0; }
+  double stderr_() const {
+    if (n < 2) return 0.0;
+    const double m = mean();
+    const double var =
+        (sum_sq - static_cast<double>(n) * m * m) / static_cast<double>(n - 1);
+    return std::sqrt(std::max(0.0, var) / static_cast<double>(n));
+  }
+};
+
+/// Workload description shared by the figure benches (paper §5.5).
+struct Workload {
+  std::uint64_t n = 2000;        // paper: 10000
+  double p = 0.5;                // edge probability
+  std::uint64_t graphs = 5;      // paper: 20 random graphs
+  std::uint64_t seed0 = 1;       // graph g uses seed seed0 + g
+};
+
+inline Workload workload_from_args(const Args& args) {
+  Workload w;
+  if (args.flag("paper")) {
+    w.n = 10000;
+    w.graphs = 20;
+  }
+  w.n = args.value("n", w.n);
+  w.p = args.value_d("p", w.p);
+  w.graphs = args.value("graphs", w.graphs);
+  return w;
+}
+
+struct SsspAggregate {
+  Mean seconds;
+  Mean nodes_relaxed;
+  Mean tasks_spawned;
+  PlaceStats counters;  // summed over runs
+};
+
+/// One parallel-SSSP measurement with a fresh storage per run.
+template <typename Storage>
+void run_sssp(const Graph& g, std::size_t places, int k, std::uint64_t seed,
+              SsspAggregate& agg, StorageConfig extra = {}) {
+  StorageConfig cfg = extra;
+  cfg.k_max = std::max(k, 1);
+  cfg.default_k = std::max(k, 1);
+  cfg.seed = seed;
+  StatsRegistry stats(places);
+  Storage storage(places, cfg, &stats);
+  auto result = parallel_sssp(g, 0, storage, k, &stats);
+  agg.seconds.add(result.seconds);
+  agg.nodes_relaxed.add(static_cast<double>(result.nodes_relaxed));
+  agg.tasks_spawned.add(static_cast<double>(result.tasks_spawned));
+  agg.counters += result.totals;
+}
+
+inline void print_header(const char* title, const Workload& w) {
+  std::printf("# %s\n", title);
+  std::printf("# workload: %llu-node G(n, p=%.2f), %llu graph(s), "
+              "uniform U(0,1] weights\n",
+              static_cast<unsigned long long>(w.n), w.p,
+              static_cast<unsigned long long>(w.graphs));
+}
+
+}  // namespace kps::bench

@@ -1,0 +1,96 @@
+// Figure 5 reproduction (paper §5.5): total execution time and number of
+// nodes relaxed for varying k at fixed P, for the centralized and hybrid
+// k-priority data structures (work-stealing shown as the k-independent
+// reference line).
+//
+// Paper setting: P = 80, k ∈ {0, 1, 2, 4, ..., 32768}, n = 10000, p = 0.5,
+// 20 graphs.  Defaults here: P = 8, n = 10000, 2 graphs, thinned k sweep.
+// --paper restores the full sweep at P = 80.  k = 0 means: centralized
+// clamps to the strictest window (1); hybrid publishes on every push.
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/centralized_kpq.hpp"
+#include "core/hybrid_kpq.hpp"
+#include "core/ws_priority.hpp"
+
+namespace {
+using namespace kps;
+using namespace kps::bench;
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv);
+  Workload w = workload_from_args(args);
+  if (!args.flag("paper")) {
+    w.n = args.value("n", 10000);
+    w.graphs = args.value("graphs", 2);
+  }
+  const std::uint64_t P = args.value("P", args.flag("paper") ? 80 : 8);
+
+  std::vector<int> ks;
+  if (args.flag("paper")) {
+    ks = {0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096, 8192,
+          16384, 32768};
+  } else {
+    ks = {0, 1, 4, 16, 64, 256, 1024, 4096, 16384, 32768};
+  }
+
+  print_header("Figure 5: execution time and nodes relaxed vs k", w);
+  std::printf("# P=%llu\n", static_cast<unsigned long long>(P));
+
+  SsspAggregate ws;
+  std::vector<SsspAggregate> central(ks.size());
+  std::vector<SsspAggregate> hybrid(ks.size());
+
+  for (std::uint64_t g = 0; g < w.graphs; ++g) {
+    Graph graph =
+        erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
+    run_sssp<WsPriorityPool<SsspTask>>(graph, P, 512, 20 * g + 1, ws);
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+      const int k = ks[i];
+      run_sssp<CentralizedKpq<SsspTask>>(graph, P, std::max(k, 1),
+                                         20 * g + 2, central[i]);
+      // Hybrid honours k = 0 (publish on every push).
+      StorageConfig hybrid_cfg;
+      hybrid_cfg.k_max = std::max(k, 0);
+      hybrid_cfg.default_k = std::max(k, 0);
+      hybrid_cfg.seed = 20 * g + 3;
+      StatsRegistry stats(P);
+      HybridKpq<SsspTask> storage(P, hybrid_cfg, &stats);
+      auto r = parallel_sssp(graph, 0, storage, k, &stats);
+      hybrid[i].seconds.add(r.seconds);
+      hybrid[i].nodes_relaxed.add(static_cast<double>(r.nodes_relaxed));
+      hybrid[i].tasks_spawned.add(static_cast<double>(r.tasks_spawned));
+      hybrid[i].counters += r.totals;
+    }
+    std::fprintf(stderr, "graph %llu/%llu done\n",
+                 static_cast<unsigned long long>(g + 1),
+                 static_cast<unsigned long long>(w.graphs));
+  }
+
+  std::printf("# work-stealing reference: time=%.4fs relaxed=%.0f\n",
+              ws.seconds.mean(), ws.nodes_relaxed.mean());
+  std::printf(
+      "k,central_time_s,hybrid_time_s,central_relaxed,hybrid_relaxed,"
+      "central_spawned,hybrid_spawned,hybrid_publishes,hybrid_spied\n");
+  for (std::size_t i = 0; i < ks.size(); ++i) {
+    std::printf(
+        "%d,%.4f,%.4f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n", ks[i],
+        central[i].seconds.mean(), hybrid[i].seconds.mean(),
+        central[i].nodes_relaxed.mean(), hybrid[i].nodes_relaxed.mean(),
+        central[i].tasks_spawned.mean(), hybrid[i].tasks_spawned.mean(),
+        static_cast<double>(hybrid[i].counters.get(Counter::publishes)) /
+            static_cast<double>(w.graphs),
+        static_cast<double>(hybrid[i].counters.get(Counter::spied_items)) /
+            static_cast<double>(w.graphs));
+  }
+
+  std::printf("\n# shape check (paper): centralized best for small-to-mid "
+              "k, degrades for very large k (linear window search); hybrid "
+              "improves with k (fewer publishes) and approaches "
+              "work-stealing's behaviour; wasted work grows mildly with k "
+              "but stays far below work-stealing\n");
+  return 0;
+}

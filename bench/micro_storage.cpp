@@ -1,0 +1,91 @@
+// Microbenchmarks for the scheduling data structures (DESIGN.md A6): raw
+// push/pop throughput single-threaded and under thread contention, across
+// all six TaskStorage implementations.
+#include <benchmark/benchmark.h>
+
+#include "core/centralized_kpq.hpp"
+#include "core/global_pq.hpp"
+#include "core/hybrid_kpq.hpp"
+#include "core/multiqueue.hpp"
+#include "core/task_types.hpp"
+#include "core/ws_deque_pool.hpp"
+#include "core/ws_priority.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace kps;
+using BenchTask = Task<std::uint64_t, double>;
+
+template <typename S>
+void BM_OwnerPushPop(benchmark::State& state) {
+  // Single place: the uncontended fast path every scheduler hits most.
+  S storage(1, StorageConfig{.k_max = 512, .default_k = 512});
+  auto& place = storage.place(0);
+  Xoshiro256 rng(1);
+  const int batch = 64;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      storage.push(place, 512, {rng.next_unit(), static_cast<std::uint64_t>(i)});
+    }
+    for (int i = 0; i < batch; ++i) {
+      auto t = storage.pop(place);
+      benchmark::DoNotOptimize(t);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch * 2);
+}
+
+template <typename S>
+void BM_ContendedPushPop(benchmark::State& state) {
+  // google-benchmark multithreaded harness: thread i uses place i; every
+  // thread pushes and pops, contending on the shared component (global
+  // array / global list / steals).  One storage with 8 places is shared
+  // across runs (magic-static init is thread-safe); pops are bounded so a
+  // thread that finds the pool drained by faster peers cannot hang.
+  static S storage(8, StorageConfig{.k_max = 64, .default_k = 64});
+  auto& place = storage.place(static_cast<std::size_t>(state.thread_index()));
+  Xoshiro256 rng(state.thread_index() + 1);
+  const int batch = 32;
+  for (auto _ : state) {
+    for (int i = 0; i < batch; ++i) {
+      storage.push(place, 64,
+                   {rng.next_unit(), static_cast<std::uint64_t>(i)});
+    }
+    int got = 0;
+    for (int attempts = 0; got < batch && attempts < batch * 64; ++attempts) {
+      if (storage.pop(place)) ++got;
+    }
+  }
+  // Drain leftovers so back-to-back runs start from a near-empty pool.
+  while (storage.pop(place)) {
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          batch * 2);
+}
+
+using Central = CentralizedKpq<BenchTask>;
+using Hybrid = HybridKpq<BenchTask>;
+using WsPrio = WsPriorityPool<BenchTask>;
+using WsDeque = WsDequePool<BenchTask>;
+using GlobalPq = GlobalLockedPq<BenchTask>;
+using MultiQ = MultiQueuePool<BenchTask>;
+
+}  // namespace
+
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, Central);
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, Hybrid);
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, WsPrio);
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, WsDeque);
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, GlobalPq);
+BENCHMARK_TEMPLATE(BM_OwnerPushPop, MultiQ);
+
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, Central)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, Hybrid)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, WsPrio)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, WsDeque)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, GlobalPq)->Threads(2)->Threads(4)->UseRealTime();
+BENCHMARK_TEMPLATE(BM_ContendedPushPop, MultiQ)->Threads(2)->Threads(4)->UseRealTime();
+
+BENCHMARK_MAIN();
