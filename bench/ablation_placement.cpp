@@ -66,7 +66,7 @@ Outcome run(bool randomize, std::size_t threads, std::uint64_t per_thread,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
+  Args args(argc, argv, std::vector<std::string>{"per-thread", "threads"});
   const std::uint64_t per_thread = args.value("per-thread", 50000);
   const std::size_t threads = args.value("threads", 4);
 

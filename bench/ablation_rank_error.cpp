@@ -71,7 +71,7 @@ RankStats measure(int k, std::uint64_t tasks, std::uint64_t seed) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
+  Args args(argc, argv, std::vector<std::string>{"tasks"});
   const std::uint64_t tasks = args.value("tasks", 20000);
 
   std::printf("# Ablation A1: pop rank error vs k (single-threaded oracle, "

@@ -17,7 +17,7 @@ using namespace kps::bench;
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
+  Args args(argc, argv, {"P"});
   Workload w = workload_from_args(args);
   const std::uint64_t P = args.value("P", 8);
 

@@ -45,7 +45,7 @@ void churn_phase(bool structural, int k, std::uint64_t ops,
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
+  Args args(argc, argv, {"P", "churn-ops"});
   Workload w = workload_from_args(args);
   const std::uint64_t P = args.value("P", 8);
 

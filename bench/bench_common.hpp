@@ -9,11 +9,14 @@
 #pragma once
 
 #include <algorithm>
+#include <cerrno>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <initializer_list>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -25,11 +28,98 @@
 
 namespace kps::bench {
 
-/// Minimal --flag / --key value parser (no dependencies, fail-fast).
+/// Minimal --flag / --key value parser (no dependencies, fail-fast):
+/// unknown flags, flags the invoked bench does not accept, missing
+/// values, and non-numeric values abort with a diagnostic instead of
+/// being silently ignored or read as 0.
+///
+/// Each bench passes the exact flags it reads, so `fig4_scaling --tasks
+/// 100` is rejected rather than silently running with defaults.  The
+/// pseudo-flag "paper" is boolean (takes no value); everything else
+/// expects one.  kWorkloadFlags covers what workload_from_args() reads.
 class Args {
  public:
-  Args(int argc, char** argv) {
+  static constexpr const char* kWorkloadFlags[] = {"paper", "n", "p",
+                                                   "graphs"};
+
+  Args(int argc, char** argv, std::vector<std::string> accepted) {
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+    std::string err;
+    if (!check(args_, accepted, &err)) {
+      std::fprintf(stderr, "error: %s\n", err.c_str());
+      std::exit(2);
+    }
+  }
+
+  /// The workload set plus bench-specific extras — the common case.
+  Args(int argc, char** argv, std::initializer_list<const char*> extra = {})
+      : Args(argc, argv, with_workload(extra)) {}
+
+  static std::vector<std::string> with_workload(
+      std::initializer_list<const char*> extra) {
+    std::vector<std::string> accepted(std::begin(kWorkloadFlags),
+                                      std::end(kWorkloadFlags));
+    accepted.insert(accepted.end(), extra.begin(), extra.end());
+    return accepted;
+  }
+
+  /// Validation only (separated from the constructor so tests can probe
+  /// rejection paths without exiting the process).
+  static bool check(const std::vector<std::string>& args,
+                    const std::vector<std::string>& accepted,
+                    std::string* err) {
+    for (std::size_t i = 0; i < args.size(); ++i) {
+      const std::string& tok = args[i];
+      if (tok.rfind("--", 0) != 0) {
+        *err = "stray argument '" + tok + "' (flags start with --)";
+        return false;
+      }
+      const std::string name = tok.substr(2);
+      if (std::find(accepted.begin(), accepted.end(), name) ==
+          accepted.end()) {
+        *err = "unknown flag '" + tok + "' (this bench accepts:" +
+               [&accepted] {
+                 std::string list;
+                 for (const auto& a : accepted) list += " --" + a;
+                 return list;
+               }() +
+               ")";
+        return false;
+      }
+      if (name == "paper") continue;  // boolean, takes no value
+      if (i + 1 >= args.size() || args[i + 1].rfind("--", 0) == 0) {
+        *err = "flag '" + tok + "' expects a value";
+        return false;
+      }
+      ++i;  // consume the value token
+    }
+    return true;
+  }
+
+  static bool parse_u64(const std::string& s, std::uint64_t* out) {
+    // Must start with a digit: strtoull would silently wrap "-5" to
+    // 18446744073709551611, which is exactly the class of surprise this
+    // parser exists to reject.
+    if (s.empty() || s[0] < '0' || s[0] > '9') return false;
+    char* end = nullptr;
+    errno = 0;
+    const std::uint64_t v = std::strtoull(s.c_str(), &end, 10);
+    if (errno != 0 || end != s.c_str() + s.size()) return false;
+    *out = v;
+    return true;
+  }
+
+  static bool parse_double(const std::string& s, double* out) {
+    if (s.empty()) return false;
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(s.c_str(), &end);
+    if (errno != 0 || end != s.c_str() + s.size()) return false;
+    // Every double flag is a nonnegative finite quantity (probability,
+    // rate); strtod happily parses "nan"/"inf"/negatives — reject them.
+    if (!std::isfinite(v) || v < 0) return false;
+    *out = v;
+    return true;
   }
 
   bool flag(const std::string& name) const {
@@ -39,7 +129,13 @@ class Args {
   std::uint64_t value(const std::string& name, std::uint64_t def) const {
     for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
       if (args_[i] == "--" + name) {
-        return std::strtoull(args_[i + 1].c_str(), nullptr, 10);
+        std::uint64_t v = 0;
+        if (!parse_u64(args_[i + 1], &v)) {
+          std::fprintf(stderr, "error: --%s expects an integer, got '%s'\n",
+                       name.c_str(), args_[i + 1].c_str());
+          std::exit(2);
+        }
+        return v;
       }
     }
     return def;
@@ -48,7 +144,13 @@ class Args {
   double value_d(const std::string& name, double def) const {
     for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
       if (args_[i] == "--" + name) {
-        return std::strtod(args_[i + 1].c_str(), nullptr);
+        double v = 0;
+        if (!parse_double(args_[i + 1], &v)) {
+          std::fprintf(stderr, "error: --%s expects a number, got '%s'\n",
+                       name.c_str(), args_[i + 1].c_str());
+          std::exit(2);
+        }
+        return v;
       }
     }
     return def;

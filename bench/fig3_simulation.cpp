@@ -39,7 +39,7 @@ struct PhaseAverages {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
+  Args args(argc, argv, {"P"});
   Workload w = workload_from_args(args);
   const std::uint64_t P = args.value("P", 80);
   const std::vector<std::uint64_t> rhos = {0, 128, 512};

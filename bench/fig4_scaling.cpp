@@ -29,7 +29,7 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
+  Args args(argc, argv, {"k", "maxp"});
   Workload w = workload_from_args(args);
   if (!args.flag("paper")) {
     w.n = args.value("n", 10000);

@@ -21,7 +21,7 @@ using namespace kps::bench;
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args(argc, argv);
+  Args args(argc, argv, {"P"});
   Workload w = workload_from_args(args);
   if (!args.flag("paper")) {
     w.n = args.value("n", 10000);

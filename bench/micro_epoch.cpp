@@ -1,5 +1,5 @@
 // Microbenchmarks for the epoch-based reclamation substrate: pin/unpin
-// cost (paid by every centralized push/pop), retire+collect throughput,
+// cost (paid by every centralized pop), retire+collect throughput,
 // and reader-scaling of the pin path.
 #include <benchmark/benchmark.h>
 

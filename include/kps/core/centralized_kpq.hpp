@@ -1,0 +1,171 @@
+// CentralizedKpq — the paper's centralized k-priority structure (§4.1.1):
+// a lock-free global slot array (the k-relaxation window) backed by a
+// strict overflow heap.
+//
+//   push — publish a heap-allocated task node into a free window slot with
+//          one CAS.  Randomized placement spreads concurrent pushers across
+//          the window (ablation A3 measures the linear-scan alternative);
+//          if the window is full the task overflows into the locked heap.
+//   pop  — scan the window for the best published node, compare against
+//          the overflow heap's cached minimum, and claim the winner with
+//          one CAS.  A claimed node is retired through the epoch domain,
+//          because concurrent scanners may still be dereferencing it.
+//
+// Relaxation guarantee: only window tasks can be bypassed, so a pop's rank
+// error is bounded by k regardless of P (ablation A1 measures this).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/storage_traits.hpp"
+#include "core/task_types.hpp"
+#include "queues/dary_heap.hpp"
+#include "support/epoch.hpp"
+#include "support/rng.hpp"
+#include "support/spinlock.hpp"
+#include "support/stats.hpp"
+
+namespace kps {
+
+template <typename TaskT>
+class CentralizedKpq {
+ public:
+  using task_type = TaskT;
+
+  struct alignas(kCacheLine) Place {
+    std::size_t index = 0;
+    PlaceCounters* counters = nullptr;
+    Xoshiro256 rng;
+    EpochThread epoch;
+  };
+
+  CentralizedKpq(std::size_t places, StorageConfig cfg,
+                 StatsRegistry* stats = nullptr)
+      : cfg_(cfg),
+        window_(static_cast<std::size_t>(std::max(cfg.k_max, 1))),
+        places_(places ? places : 1) {
+    stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
+    detail::init_places(places_, cfg, stats);
+    for (auto& s : window_) s.store(nullptr, std::memory_order_relaxed);
+    for (auto& p : places_) p.epoch = domain_.register_thread();
+  }
+
+  ~CentralizedKpq() {
+    for (auto& s : window_) delete s.load(std::memory_order_relaxed);
+  }
+
+  std::size_t places() const { return places_.size(); }
+  Place& place(std::size_t i) { return places_[i]; }
+
+  void push(Place& p, int k, TaskT task) {
+    p.counters->inc(Counter::tasks_spawned);
+    const std::size_t window = window_size(k);
+    auto* node = new TaskT(task);
+    // No epoch pin here: push only loads slot pointers and CASes
+    // nullptr->node, never dereferencing a node another thread may have
+    // retired — only pop pays the pin fence.
+    const std::size_t start =
+        cfg_.randomize_placement ? p.rng.next_bounded(window) : 0;
+    for (std::size_t i = 0; i < window; ++i) {
+      const std::size_t idx = start + i < window ? start + i
+                                                 : start + i - window;
+      TaskT* expected = window_[idx].load(std::memory_order_relaxed);
+      if (expected != nullptr) continue;
+      if (window_[idx].compare_exchange_strong(expected, node,
+                                               std::memory_order_release,
+                                               std::memory_order_relaxed)) {
+        return;
+      }
+      p.counters->inc(Counter::push_cas_failures);
+    }
+    // Window full: the task leaves the relaxed tier for the strict heap.
+    overflow_lock_.lock();
+    overflow_.push(task);
+    publish_overflow_min();
+    overflow_lock_.unlock();
+    delete node;  // never published, nobody can hold a reference
+  }
+
+  std::optional<TaskT> pop(Place& p) {
+    EpochGuard guard(p.epoch);
+    // Scan the whole slot array, not default_k: push honors the caller's
+    // per-op k, so any slot up to k_max may hold a task.
+    const std::size_t window = window_.size();
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      // Best published window node this scan.
+      TaskT* best = nullptr;
+      std::size_t best_idx = 0;
+      for (std::size_t i = 0; i < window; ++i) {
+        TaskT* node = window_[i].load(std::memory_order_acquire);
+        if (node && (!best || node->priority < best->priority)) {
+          best = node;
+          best_idx = i;
+        }
+      }
+
+      const double heap_min =
+          overflow_min_.load(std::memory_order_acquire);
+      if (!best && heap_min == kEmpty) break;
+
+      if (!best ||
+          heap_min < static_cast<double>(best->priority)) {
+        overflow_lock_.lock();
+        if (!overflow_.empty()) {
+          TaskT out = overflow_.pop();
+          publish_overflow_min();
+          overflow_lock_.unlock();
+          p.counters->inc(Counter::tasks_executed);
+          return out;
+        }
+        overflow_lock_.unlock();
+        if (!best) continue;
+      }
+
+      TaskT* expected = best;
+      if (window_[best_idx].compare_exchange_strong(
+              expected, nullptr, std::memory_order_acq_rel,
+              std::memory_order_relaxed)) {
+        TaskT out = *best;
+        p.epoch.retire(best,
+                       [](void* ptr) { delete static_cast<TaskT*>(ptr); });
+        p.counters->inc(Counter::tasks_executed);
+        return out;
+      }
+      p.counters->inc(Counter::pop_cas_failures);
+    }
+    p.counters->inc(Counter::pop_failures);
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr double kEmpty = std::numeric_limits<double>::infinity();
+
+  std::size_t window_size(int k) const {
+    const auto requested = static_cast<std::size_t>(std::max(k, 1));
+    return requested < window_.size() ? requested : window_.size();
+  }
+
+  void publish_overflow_min() {
+    overflow_min_.store(
+        overflow_.empty() ? kEmpty
+                          : static_cast<double>(overflow_.top().priority),
+        std::memory_order_release);
+  }
+
+  StorageConfig cfg_;
+  EpochDomain domain_;  // declared before places_: EpochThreads must die first
+  std::vector<std::atomic<TaskT*>> window_;
+  Spinlock overflow_lock_;
+  DaryHeap<TaskT, TaskLess, 4> overflow_;
+  std::atomic<double> overflow_min_{kEmpty};
+  std::vector<Place> places_;
+  std::unique_ptr<StatsRegistry> owned_stats_;
+};
+
+}  // namespace kps

@@ -1,0 +1,67 @@
+// GlobalLockedPq — the strict centralized baseline: one mutex, one heap.
+//
+// Zero relaxation (rank error is exactly 0 modulo in-flight races at the
+// caller), and the scalability wall every figure measures against: all P
+// places serialize on a single lock for every operation.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/storage_traits.hpp"
+#include "core/task_types.hpp"
+#include "queues/dary_heap.hpp"
+#include "support/stats.hpp"
+
+namespace kps {
+
+template <typename TaskT>
+class GlobalLockedPq {
+ public:
+  using task_type = TaskT;
+
+  struct Place {
+    std::size_t index = 0;
+    PlaceCounters* counters = nullptr;
+  };
+
+  GlobalLockedPq(std::size_t places, StorageConfig cfg,
+                 StatsRegistry* stats = nullptr)
+      : cfg_(cfg), places_(places ? places : 1) {
+    stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
+    detail::init_places(places_, cfg_, stats);
+  }
+
+  std::size_t places() const { return places_.size(); }
+  Place& place(std::size_t i) { return places_[i]; }
+
+  void push(Place& p, int /*k*/, TaskT task) {
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      heap_.push(task);
+    }
+    p.counters->inc(Counter::tasks_spawned);
+  }
+
+  std::optional<TaskT> pop(Place& p) {
+    std::optional<TaskT> out;
+    {
+      std::lock_guard<std::mutex> lk(mutex_);
+      if (!heap_.empty()) out = heap_.pop();
+    }
+    p.counters->inc(out ? Counter::tasks_executed : Counter::pop_failures);
+    return out;
+  }
+
+ private:
+  StorageConfig cfg_;
+  std::mutex mutex_;
+  DaryHeap<TaskT, TaskLess, 4> heap_;
+  std::vector<Place> places_;
+  std::unique_ptr<StatsRegistry> owned_stats_;
+};
+
+}  // namespace kps

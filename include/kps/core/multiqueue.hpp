@@ -1,0 +1,124 @@
+// MultiQueuePool — the random-two-choices relaxed baseline
+// (Rihani/Sanders/Dementiev-style MultiQueue, cf. Postnikova et al. 2021).
+//
+// c·P spinlocked heaps.  push: lock a uniformly random queue.  pop: probe
+// two random queues, compare their cached best priorities without taking
+// either lock, then lock only the better one.  Quality degrades gracefully
+// (expected rank error O(P)) while contention per queue drops with c.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/storage_traits.hpp"
+#include "core/task_types.hpp"
+#include "queues/dary_heap.hpp"
+#include "support/rng.hpp"
+#include "support/spinlock.hpp"
+#include "support/stats.hpp"
+
+namespace kps {
+
+template <typename TaskT>
+class MultiQueuePool {
+ public:
+  using task_type = TaskT;
+
+  struct alignas(kCacheLine) Place {
+    std::size_t index = 0;
+    PlaceCounters* counters = nullptr;
+    Xoshiro256 rng;
+  };
+
+  MultiQueuePool(std::size_t places, StorageConfig cfg,
+                 StatsRegistry* stats = nullptr)
+      : cfg_(cfg), places_(places ? places : 1) {
+    stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
+    detail::init_places(places_, cfg_, stats);
+    const std::size_t q = std::max<std::size_t>(
+        2, places_.size() * std::max<std::size_t>(cfg.multiqueue_factor, 1));
+    queues_ = std::vector<Queue>(q);
+  }
+
+  std::size_t places() const { return places_.size(); }
+  Place& place(std::size_t i) { return places_[i]; }
+
+  void push(Place& p, int /*k*/, TaskT task) {
+    while (true) {
+      Queue& q = queues_[p.rng.next_bounded(queues_.size())];
+      if (!q.lock.try_lock()) continue;  // random retry beats waiting
+      q.heap.push(task);
+      q.publish_top();
+      q.lock.unlock();
+      break;
+    }
+    p.counters->inc(Counter::tasks_spawned);
+  }
+
+  std::optional<TaskT> pop(Place& p) {
+    // Random two-choices probes; fall back to a full sweep before giving
+    // up so pop only fails when the pool really looked empty.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      const std::size_t a = p.rng.next_bounded(queues_.size());
+      std::size_t b = p.rng.next_bounded(queues_.size());
+      if (queues_.size() > 1 && b == a) b = (a + 1) % queues_.size();
+      const double ta = queues_[a].top_cache.load(std::memory_order_acquire);
+      const double tb = queues_[b].top_cache.load(std::memory_order_acquire);
+      if (ta == kEmptyTop && tb == kEmptyTop) continue;
+      Queue& q = queues_[ta <= tb ? a : b];
+      if (auto out = try_pop_queue(q)) {
+        p.counters->inc(Counter::tasks_executed);
+        return out;
+      }
+    }
+    for (Queue& q : queues_) {
+      if (auto out = try_pop_queue(q)) {
+        p.counters->inc(Counter::tasks_executed);
+        return out;
+      }
+    }
+    p.counters->inc(Counter::pop_failures);
+    return std::nullopt;
+  }
+
+ private:
+  static constexpr double kEmptyTop = std::numeric_limits<double>::infinity();
+
+  struct alignas(kCacheLine) Queue {
+    Spinlock lock;
+    DaryHeap<TaskT, TaskLess, 4> heap;
+    std::atomic<double> top_cache{kEmptyTop};
+
+    void publish_top() {
+      top_cache.store(
+          heap.empty() ? kEmptyTop : static_cast<double>(heap.top().priority),
+          std::memory_order_release);
+    }
+  };
+
+  std::optional<TaskT> try_pop_queue(Queue& q) {
+    if (q.top_cache.load(std::memory_order_acquire) == kEmptyTop) {
+      return std::nullopt;
+    }
+    if (!q.lock.try_lock()) return std::nullopt;
+    std::optional<TaskT> out;
+    if (!q.heap.empty()) {
+      out = q.heap.pop();
+      q.publish_top();
+    }
+    q.lock.unlock();
+    return out;
+  }
+
+  StorageConfig cfg_;
+  std::vector<Queue> queues_;
+  std::vector<Place> places_;
+  std::unique_ptr<StatsRegistry> owned_stats_;
+};
+
+}  // namespace kps

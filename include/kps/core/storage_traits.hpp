@@ -1,0 +1,82 @@
+// Shared configuration and the TaskStorage concept every scheduler-side
+// structure models (see DESIGN.md for the storage taxonomy).
+//
+// All storages share the same shape:
+//
+//   Storage s(places, config, &stats);      // stats optional
+//   auto& place = s.place(p);               // one handle per worker thread
+//   s.push(place, k, task);                 // k = relaxation window for op
+//   std::optional<Task> t = s.pop(place);   // nullopt <=> nothing found
+//
+// A Place handle must be driven by one thread at a time; handles of
+// different places are safe to use concurrently.  pop() is allowed to be
+// weakly complete (a transient nullopt while another place holds tasks is
+// legal) — the SSSP runner owns termination via its pending-task counter.
+#pragma once
+
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace kps {
+
+struct StorageConfig {
+  // NOTE: designated initializers require this declaration order
+  // (benches write {.k_max = …, .default_k = …, .seed = …}).
+  int k_max = 1024;       // largest relaxation window the storage must honor
+  int default_k = 1024;   // window used when the caller has no opinion
+  std::uint64_t seed = 1; // placement / victim-selection randomization
+
+  bool enable_spying = true;          // hybrid: read foreign private queues
+  bool structural_relaxation = false; // hybrid: publish on k LIVE tasks
+                                      // instead of every k-th push
+  bool randomize_placement = true;    // centralized: random vs linear slot
+  bool steal_half = true;             // work-stealing: half vs single task
+
+  std::size_t multiqueue_factor = 2;  // multiqueue: queues per place (c)
+};
+
+namespace detail {
+
+/// Storages accept an optional external StatsRegistry; standalone uses
+/// (micro benches) get a private one.
+inline StatsRegistry* resolve_stats(std::size_t places, StatsRegistry* stats,
+                                    std::unique_ptr<StatsRegistry>& owned) {
+  if (stats) return stats;
+  owned = std::make_unique<StatsRegistry>(places);
+  return owned.get();
+}
+
+/// Common Place wiring shared by every storage: index, counter block, and
+/// (where the Place has one) a per-place RNG stream derived from the
+/// config seed.
+template <typename PlaceVec>
+void init_places(PlaceVec& places, const StorageConfig& cfg,
+                 StatsRegistry* stats) {
+  for (std::size_t i = 0; i < places.size(); ++i) {
+    places[i].index = i;
+    places[i].counters = &stats->place(i);
+    if constexpr (requires { places[i].rng; }) {
+      places[i].rng = Xoshiro256(cfg.seed * 0x9e37 + i + 1);
+    }
+  }
+}
+
+}  // namespace detail
+
+template <typename S>
+concept TaskStorage = requires(S s, typename S::task_type task, int k) {
+  typename S::task_type;
+  typename S::Place;
+  { s.places() } -> std::convertible_to<std::size_t>;
+  { s.place(std::size_t{0}) } -> std::same_as<typename S::Place&>;
+  { s.push(s.place(0), k, task) };
+  { s.pop(s.place(0)) } -> std::same_as<std::optional<typename S::task_type>>;
+};
+
+}  // namespace kps

@@ -1,0 +1,32 @@
+// Task representation shared by every storage.
+//
+// A task is a (priority, payload) pair small enough to move by value —
+// the local components store tasks inline, so the hot paths never chase
+// pointers or allocate per task.
+#pragma once
+
+#include <cstdint>
+
+namespace kps {
+
+template <typename Payload, typename Prio>
+struct Task {
+  using payload_type = Payload;
+  using priority_type = Prio;
+
+  Prio priority{};   // lower = better (min-order)
+  Payload payload{};
+};
+
+/// Strict weak order on priority alone; ties broken arbitrarily.
+struct TaskLess {
+  template <typename P, typename R>
+  bool operator()(const Task<P, R>& a, const Task<P, R>& b) const {
+    return a.priority < b.priority;
+  }
+};
+
+/// SSSP tasks: priority = tentative distance, payload = node id.
+using SsspTask = Task<std::uint32_t, double>;
+
+}  // namespace kps

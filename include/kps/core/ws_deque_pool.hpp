@@ -1,0 +1,119 @@
+// WsDequePool — classic (priority-oblivious) work-stealing, the ablation
+// A5 control: Chase–Lev-style LIFO owner end, FIFO steal end, no ordering
+// by priority anywhere.  Shows what local prioritization alone buys on
+// priority workloads: this pool relaxes far more SSSP nodes than any
+// priority-aware storage because execution order ignores distances.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/storage_traits.hpp"
+#include "core/task_types.hpp"
+#include "support/rng.hpp"
+#include "support/spinlock.hpp"
+#include "support/stats.hpp"
+
+namespace kps {
+
+template <typename TaskT>
+class WsDequePool {
+ public:
+  using task_type = TaskT;
+
+  struct alignas(kCacheLine) Place {
+    std::size_t index = 0;
+    PlaceCounters* counters = nullptr;
+    Xoshiro256 rng;
+    Spinlock lock;
+    std::deque<TaskT> deque;  // owner: back; thieves: front
+    std::vector<TaskT> loot;  // reused steal buffer
+  };
+
+  WsDequePool(std::size_t places, StorageConfig cfg,
+              StatsRegistry* stats = nullptr)
+      : cfg_(cfg), places_(places ? places : 1) {
+    stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
+    detail::init_places(places_, cfg_, stats);
+  }
+
+  std::size_t places() const { return places_.size(); }
+  Place& place(std::size_t i) { return places_[i]; }
+
+  void push(Place& p, int /*k*/, TaskT task) {
+    p.lock.lock();
+    p.deque.push_back(task);
+    p.lock.unlock();
+    p.counters->inc(Counter::tasks_spawned);
+  }
+
+  std::optional<TaskT> pop(Place& p) {
+    p.lock.lock();
+    if (!p.deque.empty()) {
+      TaskT out = p.deque.back();
+      p.deque.pop_back();
+      p.lock.unlock();
+      p.counters->inc(Counter::tasks_executed);
+      return out;
+    }
+    p.lock.unlock();
+
+    const std::size_t n = places_.size();
+    if (n > 1) {
+      const std::size_t start = p.rng.next_bounded(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        Place& victim = places_[(start + i) % n];
+        if (victim.index == p.index) continue;
+        p.counters->inc(Counter::steal_attempts);
+        if (auto out = steal_from(p, victim)) {
+          p.counters->inc(Counter::tasks_executed);
+          return out;
+        }
+      }
+    }
+    p.counters->inc(Counter::pop_failures);
+    return std::nullopt;
+  }
+
+ private:
+  std::optional<TaskT> steal_from(Place& p, Place& victim) {
+    if (!victim.lock.try_lock()) return std::nullopt;
+    std::optional<TaskT> out;
+    if (!victim.deque.empty()) {
+      out = victim.deque.front();
+      victim.deque.pop_front();
+      std::size_t stolen = 1;
+      if (cfg_.steal_half) {
+        // Move (half - 1) more tasks from the victim's steal end.
+        std::size_t extra = victim.deque.size() / 2;
+        p.loot.clear();
+        while (extra-- > 0) {
+          p.loot.push_back(victim.deque.front());
+          victim.deque.pop_front();
+        }
+        stolen += p.loot.size();
+        victim.lock.unlock();
+        if (!p.loot.empty()) {
+          p.lock.lock();
+          for (TaskT& t : p.loot) p.deque.push_back(t);
+          p.lock.unlock();
+        }
+      } else {
+        victim.lock.unlock();
+      }
+      p.counters->inc(Counter::stolen_items, stolen);
+      return out;
+    }
+    victim.lock.unlock();
+    return out;
+  }
+
+  StorageConfig cfg_;
+  std::vector<Place> places_;
+  std::unique_ptr<StatsRegistry> owned_stats_;
+};
+
+}  // namespace kps

@@ -1,0 +1,116 @@
+// WsPriorityPool — work-stealing with priority-ordered local queues
+// (paper §3.1): each place owns a d-ary heap and executes its own best
+// task; an empty place steals from a random victim, taking either half
+// the victim's queue (steal-half, Hendler & Shavit) or just its best
+// task, per StorageConfig::steal_half.
+//
+// Priorities only order *local* execution — there is no global view, so
+// wasted work grows with P (the Figure 4 effect this baseline exists to
+// show).  Owner operations are one uncontended CAS plus plain heap work;
+// thieves only ever try_lock, so they cannot convoy an owner.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/storage_traits.hpp"
+#include "core/task_types.hpp"
+#include "queues/dary_heap.hpp"
+#include "support/rng.hpp"
+#include "support/spinlock.hpp"
+#include "support/stats.hpp"
+
+namespace kps {
+
+template <typename TaskT>
+class WsPriorityPool {
+ public:
+  using task_type = TaskT;
+
+  struct alignas(kCacheLine) Place {
+    std::size_t index = 0;
+    PlaceCounters* counters = nullptr;
+    Xoshiro256 rng;
+    Spinlock lock;
+    DaryHeap<TaskT, TaskLess, 4> heap;
+    std::vector<TaskT> loot;  // reused steal buffer
+  };
+
+  WsPriorityPool(std::size_t places, StorageConfig cfg,
+                 StatsRegistry* stats = nullptr)
+      : cfg_(cfg), places_(places ? places : 1) {
+    stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
+    detail::init_places(places_, cfg_, stats);
+  }
+
+  std::size_t places() const { return places_.size(); }
+  Place& place(std::size_t i) { return places_[i]; }
+
+  void push(Place& p, int /*k*/, TaskT task) {
+    p.lock.lock();
+    p.heap.push(task);
+    p.lock.unlock();
+    p.counters->inc(Counter::tasks_spawned);
+  }
+
+  std::optional<TaskT> pop(Place& p) {
+    p.lock.lock();
+    if (!p.heap.empty()) {
+      TaskT out = p.heap.pop();
+      p.lock.unlock();
+      p.counters->inc(Counter::tasks_executed);
+      return out;
+    }
+    p.lock.unlock();
+
+    // Steal round: probe every other place once, in random order.
+    const std::size_t n = places_.size();
+    if (n > 1) {
+      const std::size_t start = p.rng.next_bounded(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        Place& victim = places_[(start + i) % n];
+        if (victim.index == p.index) continue;
+        p.counters->inc(Counter::steal_attempts);
+        if (auto out = steal_from(p, victim)) {
+          p.counters->inc(Counter::tasks_executed);
+          return out;
+        }
+      }
+    }
+    p.counters->inc(Counter::pop_failures);
+    return std::nullopt;
+  }
+
+ private:
+  std::optional<TaskT> steal_from(Place& p, Place& victim) {
+    if (!victim.lock.try_lock()) return std::nullopt;
+    std::optional<TaskT> out;
+    if (!victim.heap.empty()) {
+      if (cfg_.steal_half && victim.heap.size() > 1) {
+        p.loot.clear();
+        victim.heap.extract_half(p.loot);
+        victim.lock.unlock();
+        p.counters->inc(Counter::stolen_items, p.loot.size());
+        p.lock.lock();
+        for (TaskT& t : p.loot) p.heap.push(t);
+        out = p.heap.pop();
+        p.lock.unlock();
+        return out;
+      }
+      out = victim.heap.pop();
+      victim.lock.unlock();
+      p.counters->inc(Counter::stolen_items);
+      return out;
+    }
+    victim.lock.unlock();
+    return std::nullopt;
+  }
+
+  StorageConfig cfg_;
+  std::vector<Place> places_;
+  std::unique_ptr<StatsRegistry> owned_stats_;
+};
+
+}  // namespace kps

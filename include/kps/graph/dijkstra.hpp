@@ -1,0 +1,49 @@
+// Sequential Dijkstra — the correctness oracle and the Figure 4 sequential
+// baseline.  Lazy-deletion variant over the d-ary heap: no decrease-key,
+// stale entries are skipped at pop time; each reachable node is expanded
+// exactly once.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/task_types.hpp"
+#include "graph/generators.hpp"
+#include "queues/dary_heap.hpp"
+
+namespace kps {
+
+struct DijkstraResult {
+  std::vector<double> dist;       // +inf for unreachable nodes
+  std::uint64_t relaxations = 0;  // node expansions (= settled nodes)
+};
+
+inline DijkstraResult dijkstra(const Graph& g, Graph::node_t src) {
+  const std::size_t n = g.num_nodes();
+  DijkstraResult out;
+  out.dist.assign(n, std::numeric_limits<double>::infinity());
+  if (src >= n) return out;
+  out.dist[src] = 0.0;
+
+  DaryHeap<SsspTask, TaskLess, 4> heap;
+  heap.push({0.0, src});
+  while (!heap.empty()) {
+    const SsspTask t = heap.pop();
+    const Graph::node_t v = t.payload;
+    if (t.priority > out.dist[v]) continue;  // stale lazy-deletion entry
+    ++out.relaxations;
+    const std::uint64_t end = g.offsets[v + 1];
+    for (std::uint64_t e = g.offsets[v]; e < end; ++e) {
+      const Graph::node_t u = g.targets[e];
+      const double nd = t.priority + g.weights[e];
+      if (nd < out.dist[u]) {
+        out.dist[u] = nd;
+        heap.push({nd, u});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace kps

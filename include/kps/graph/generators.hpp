@@ -1,0 +1,128 @@
+// Graph representation and the G(n, p) generator used by every figure.
+//
+// CSR layout (offsets / targets / weights) so the SSSP inner loop is two
+// linear scans per relaxation.  Generation is two-pass with a dedicated
+// adjacency RNG stream: pass one counts degrees, pass two replays the
+// identical stream to fill the CSR arrays in place — no temporary edge
+// list, which matters at the paper's n = 10000, p = 0.5 (~50M directed
+// edges).  Weights come from a second stream so the replay stays aligned.
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace kps {
+
+struct Graph {
+  using node_t = std::uint32_t;
+
+  std::vector<std::uint64_t> offsets;  // size n + 1
+  std::vector<node_t> targets;
+  std::vector<double> weights;         // U(0, 1]
+
+  std::size_t num_nodes() const {
+    return offsets.empty() ? 0 : offsets.size() - 1;
+  }
+  std::size_t num_edges() const { return targets.size(); }
+
+  std::uint64_t degree(node_t u) const { return offsets[u + 1] - offsets[u]; }
+};
+
+namespace detail {
+
+/// Streams the undirected pair list {(u,v) : u < v, Bernoulli(p)} in a
+/// deterministic order.  Dense p samples every pair; sparse p uses
+/// geometric skips, so generation is O(edges) either way.
+template <typename Visit>
+void sample_pairs(std::uint64_t n, double p, Xoshiro256& rng, Visit&& visit) {
+  if (n < 2 || p <= 0.0) return;
+  const std::uint64_t total = n * (n - 1) / 2;
+
+  // Row u occupies a block of (n - 1 - u) consecutive flat indices.  The
+  // sampled indices are strictly increasing, so the row walk resumes from
+  // its previous position instead of restarting — amortized O(1) per
+  // edge, keeping generation O(edges) overall.
+  std::uint64_t row = 0;
+  std::uint64_t row_start = 0;       // flat index of row's first pair
+  std::uint64_t row_len = n - 1;     // pairs in the current row
+  auto unflatten = [&](std::uint64_t idx, std::uint64_t& u, std::uint64_t& v) {
+    while (idx >= row_start + row_len) {
+      row_start += row_len;
+      ++row;
+      --row_len;
+    }
+    u = row;
+    v = row + 1 + (idx - row_start);
+  };
+
+  if (p >= 0.25) {
+    for (std::uint64_t u = 0; u + 1 < n; ++u) {
+      for (std::uint64_t v = u + 1; v < n; ++v) {
+        if (rng.next_unit() <= p) visit(static_cast<Graph::node_t>(u),
+                                       static_cast<Graph::node_t>(v));
+      }
+    }
+    return;
+  }
+
+  const double log1mp = std::log1p(-p);
+  std::uint64_t idx = 0;
+  while (true) {
+    // Geometric(p) skip to the next present pair.
+    const double r = rng.next_unit();
+    const double skip = std::floor(std::log(r) / log1mp);
+    if (skip >= static_cast<double>(total - idx)) break;
+    idx += static_cast<std::uint64_t>(skip);
+    std::uint64_t u, v;
+    unflatten(idx, u, v);
+    visit(static_cast<Graph::node_t>(u), static_cast<Graph::node_t>(v));
+    if (++idx >= total) break;
+  }
+}
+
+}  // namespace detail
+
+/// Undirected G(n, p) with i.i.d. U(0, 1] edge weights, stored as a
+/// symmetric directed CSR.  Deterministic per (n, p, seed).
+inline Graph erdos_renyi(Graph::node_t n, double p, std::uint64_t seed) {
+  Graph g;
+  g.offsets.assign(static_cast<std::size_t>(n) + 1, 0);
+
+  // Pass 1: degree counting.
+  {
+    Xoshiro256 adjacency_rng(seed);
+    detail::sample_pairs(n, p, adjacency_rng,
+                         [&](Graph::node_t u, Graph::node_t v) {
+                           ++g.offsets[u + 1];
+                           ++g.offsets[v + 1];
+                         });
+  }
+  for (std::size_t i = 1; i < g.offsets.size(); ++i) {
+    g.offsets[i] += g.offsets[i - 1];
+  }
+
+  // Pass 2: replay the identical adjacency stream, draw weights from a
+  // separate stream, fill CSR in place.
+  g.targets.resize(g.offsets.back());
+  g.weights.resize(g.offsets.back());
+  {
+    Xoshiro256 adjacency_rng(seed);
+    Xoshiro256 weight_rng(seed ^ 0xda3e39cb94b95bdbull);
+    std::vector<std::uint64_t> cursor(g.offsets.begin(), g.offsets.end() - 1);
+    detail::sample_pairs(n, p, adjacency_rng,
+                         [&](Graph::node_t u, Graph::node_t v) {
+                           const double w = weight_rng.next_unit();
+                           g.targets[cursor[u]] = v;
+                           g.weights[cursor[u]++] = w;
+                           g.targets[cursor[v]] = u;
+                           g.weights[cursor[v]++] = w;
+                         });
+  }
+  return g;
+}
+
+}  // namespace kps

@@ -1,0 +1,91 @@
+// Array-backed d-ary min-heap, the default local component (d = 4).
+//
+// Two cache tricks over BinaryHeap: (a) fan-out 4 keeps all children of a
+// node inside one cache line for 8/16-byte elements, roughly halving the
+// depth of every sift; (b) sifts move a "hole" instead of swapping, so
+// each level costs one move rather than three.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace kps {
+
+template <typename T, typename Less, unsigned D = 4>
+class DaryHeap {
+  static_assert(D >= 2, "a heap needs fan-out of at least 2");
+
+ public:
+  using value_type = T;
+
+  DaryHeap() = default;
+  explicit DaryHeap(Less less) : less_(std::move(less)) {}
+
+  bool empty() const { return a_.empty(); }
+  std::size_t size() const { return a_.size(); }
+  void clear() { a_.clear(); }
+  void reserve(std::size_t n) { a_.reserve(n); }
+
+  const T& top() const { return a_.front(); }
+
+  void push(T v) {
+    std::size_t hole = a_.size();
+    a_.push_back(T{});  // placeholder; the hole bubbles up
+    while (hole > 0) {
+      const std::size_t parent = (hole - 1) / D;
+      if (!less_(v, a_[parent])) break;
+      a_[hole] = std::move(a_[parent]);
+      hole = parent;
+    }
+    a_[hole] = std::move(v);
+  }
+
+  /// Remove and return the best element.  Precondition: !empty().
+  T pop() {
+    T out = std::move(a_.front());
+    T last = std::move(a_.back());
+    a_.pop_back();
+    if (a_.empty()) return out;
+
+    const std::size_t n = a_.size();
+    std::size_t hole = 0;
+    while (true) {
+      const std::size_t first = hole * D + 1;
+      if (first >= n) break;
+      const std::size_t end = first + D < n ? first + D : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (less_(a_[c], a_[best])) best = c;
+      }
+      if (!less_(a_[best], last)) break;
+      a_[hole] = std::move(a_[best]);
+      hole = best;
+    }
+    a_[hole] = std::move(last);
+    return out;
+  }
+
+  /// Move every element into `out` (no ordering guarantee) and clear.
+  /// Used by HybridKpq's publish flush: one memcpy-ish sweep, no sift work.
+  void drain_unordered(std::vector<T>& out) {
+    for (auto& v : a_) out.push_back(std::move(v));
+    a_.clear();
+  }
+
+  /// Move roughly the worse half of the elements into `out` (suffix split;
+  /// see BinaryHeap::extract_half for why no re-heapify is needed).
+  void extract_half(std::vector<T>& out) {
+    const std::size_t keep = (a_.size() + 1) / 2;
+    for (std::size_t i = keep; i < a_.size(); ++i) {
+      out.push_back(std::move(a_[i]));
+    }
+    a_.resize(keep);
+  }
+
+ private:
+  std::vector<T> a_;
+  Less less_{};
+};
+
+}  // namespace kps

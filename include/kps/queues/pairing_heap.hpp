@@ -1,0 +1,190 @@
+// Pairing heap with two-pass merge and a node free-list.
+//
+// O(1) push/meld, amortized O(log n) pop.  Nodes are recycled through a
+// free-list so steady-state push/pop (the Dijkstra hot-queue pattern)
+// allocates nothing.  Left-child/right-sibling representation; pops use an
+// explicit pairing buffer instead of recursion so deep heaps cannot blow
+// the stack.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace kps {
+
+template <typename T, typename Less>
+class PairingHeap {
+ public:
+  using value_type = T;
+
+  PairingHeap() = default;
+  explicit PairingHeap(Less less) : less_(std::move(less)) {}
+
+  PairingHeap(const PairingHeap&) = delete;
+  PairingHeap& operator=(const PairingHeap&) = delete;
+
+  ~PairingHeap() {
+    destroy_subtree(root_);
+    Node* n = free_;
+    while (n) {
+      Node* next = n->sibling;
+      delete n;
+      n = next;
+    }
+  }
+
+  bool empty() const { return root_ == nullptr; }
+  std::size_t size() const { return size_; }
+
+  const T& top() const { return root_->value; }
+
+  void push(T v) {
+    Node* n = acquire(std::move(v));
+    root_ = root_ ? meld(root_, n) : n;
+    ++size_;
+  }
+
+  /// Remove and return the best element.  Precondition: !empty().
+  T pop() {
+    Node* old = root_;
+    T out = std::move(old->value);
+    root_ = merge_children(old->child);
+    release(old);
+    --size_;
+    return out;
+  }
+
+  /// Move roughly half of the elements into `out`.
+  ///
+  /// Detaches every other child subtree of the root (children partition
+  /// the heap minus its root, so alternating subtrees is an unbiased
+  /// cheap split); stops once half the elements have moved.  No ordering
+  /// guarantee on the extracted elements.
+  void extract_half(std::vector<T>& out) {
+    if (size_ < 2) return;
+    const std::size_t target = size_ / 2;
+    std::size_t moved = 0;
+
+    Node* kept = nullptr;      // rebuilt child list of the root
+    Node* child = root_->child;
+    bool take = true;
+    while (child && moved < target) {
+      Node* next = child->sibling;
+      if (take) {
+        child->sibling = nullptr;  // detach before the walk follows siblings
+        moved += drain_subtree(child, out);
+      } else {
+        child->sibling = kept;
+        kept = child;
+      }
+      take = !take;
+      child = next;
+    }
+    // Whatever the loop did not visit stays attached.
+    while (child) {
+      Node* next = child->sibling;
+      child->sibling = kept;
+      kept = child;
+      child = next;
+    }
+    root_->child = kept;
+    size_ -= moved;
+  }
+
+ private:
+  struct Node {
+    T value;
+    Node* child = nullptr;
+    Node* sibling = nullptr;
+  };
+
+  Node* acquire(T&& v) {
+    if (free_) {
+      Node* n = free_;
+      free_ = n->sibling;
+      n->value = std::move(v);
+      n->child = nullptr;
+      n->sibling = nullptr;
+      return n;
+    }
+    return new Node{std::move(v)};
+  }
+
+  void release(Node* n) {
+    n->child = nullptr;
+    n->sibling = free_;
+    free_ = n;
+  }
+
+  Node* meld(Node* a, Node* b) {
+    if (less_(b->value, a->value)) std::swap(a, b);
+    b->sibling = a->child;
+    a->child = b;
+    return a;
+  }
+
+  /// Two-pass pairing: left-to-right pairwise meld, then right-to-left
+  /// accumulate.
+  Node* merge_children(Node* first) {
+    if (!first) return nullptr;
+    pair_buf_.clear();
+    while (first) {
+      Node* a = first;
+      Node* b = a->sibling;
+      if (!b) {
+        a->sibling = nullptr;
+        pair_buf_.push_back(a);
+        break;
+      }
+      first = b->sibling;
+      a->sibling = nullptr;
+      b->sibling = nullptr;
+      pair_buf_.push_back(meld(a, b));
+    }
+    Node* acc = pair_buf_.back();
+    for (std::size_t i = pair_buf_.size() - 1; i-- > 0;) {
+      acc = meld(pair_buf_[i], acc);
+    }
+    return acc;
+  }
+
+  /// Move every value in the subtree into `out`, recycling the nodes.
+  std::size_t drain_subtree(Node* n, std::vector<T>& out) {
+    std::size_t count = 0;
+    walk_buf_.clear();
+    walk_buf_.push_back(n);
+    while (!walk_buf_.empty()) {
+      Node* cur = walk_buf_.back();
+      walk_buf_.pop_back();
+      if (cur->child) walk_buf_.push_back(cur->child);
+      if (cur->sibling) walk_buf_.push_back(cur->sibling);
+      out.push_back(std::move(cur->value));
+      release(cur);
+      ++count;
+    }
+    return count;
+  }
+
+  void destroy_subtree(Node* n) {
+    if (!n) return;
+    walk_buf_.clear();
+    walk_buf_.push_back(n);
+    while (!walk_buf_.empty()) {
+      Node* cur = walk_buf_.back();
+      walk_buf_.pop_back();
+      if (cur->child) walk_buf_.push_back(cur->child);
+      if (cur->sibling) walk_buf_.push_back(cur->sibling);
+      delete cur;
+    }
+  }
+
+  Node* root_ = nullptr;
+  Node* free_ = nullptr;
+  std::size_t size_ = 0;
+  std::vector<Node*> pair_buf_;
+  std::vector<Node*> walk_buf_;
+  Less less_{};
+};
+
+}  // namespace kps

@@ -1,0 +1,129 @@
+// Phase-wise simulator of ρ-relaxed parallel SSSP (paper §5.4.1,
+// Figure 3).
+//
+// Idealized machine: in every phase, P processors synchronously remove P
+// tasks from one shared priority queue and apply all their relaxations
+// before the next phase starts.  ρ-relaxation is modeled structurally:
+// the P removed tasks are drawn uniformly from the best P + ρ live tasks
+// (ρ = 0 is the strict queue).  Tracked per phase:
+//
+//   settled_relaxed — tasks whose tentative distance already equals the
+//                     true shortest-path distance (useful work),
+//   h_star          — spread (max − min) of the tentative distances
+//                     relaxed this phase,
+//   relaxed         — number of tasks processed.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "support/rng.hpp"
+
+namespace kps {
+
+struct SimConfig {
+  std::uint64_t P = 80;
+  std::uint64_t rho = 0;
+  std::uint64_t seed = 1;
+};
+
+struct PhaseRecord {
+  std::uint64_t settled_relaxed = 0;
+  double h_star = 0;
+  std::uint64_t relaxed = 0;
+};
+
+struct SimResult {
+  std::vector<PhaseRecord> phases;
+  std::uint64_t total_relaxed = 0;
+  std::uint64_t total_settled = 0;
+};
+
+inline SimResult simulate_phases(const Graph& g, Graph::node_t src,
+                                 SimConfig cfg) {
+  const std::size_t n = g.num_nodes();
+  SimResult result;
+  if (src >= n || cfg.P == 0) return result;
+
+  const std::vector<double> truth = dijkstra(g, src).dist;
+
+  std::vector<double> tentative(n, std::numeric_limits<double>::infinity());
+  std::vector<bool> settled(n, false);
+  Xoshiro256 rng(cfg.seed);
+
+  using Entry = std::pair<double, Graph::node_t>;
+  std::set<Entry> live;  // lazy-deletion: stale entries skipped at scan
+  tentative[src] = 0.0;
+  live.insert({0.0, src});
+
+  std::vector<Entry> candidates;
+  std::vector<Entry> batch;
+  while (!live.empty()) {
+    // Candidate window: the best P + rho live (non-stale) entries.
+    candidates.clear();
+    for (auto it = live.begin();
+         it != live.end() && candidates.size() < cfg.P + cfg.rho;) {
+      if (it->first > tentative[it->second]) {
+        it = live.erase(it);  // superseded by a better relaxation
+        continue;
+      }
+      candidates.push_back(*it);
+      ++it;
+    }
+    if (candidates.empty()) break;
+
+    // The P processors draw uniformly without replacement from the window.
+    batch.clear();
+    const std::size_t take =
+        std::min<std::size_t>(cfg.P, candidates.size());
+    for (std::size_t i = 0; i < take; ++i) {
+      const std::size_t j =
+          i + static_cast<std::size_t>(
+                  rng.next_bounded(candidates.size() - i));
+      std::swap(candidates[i], candidates[j]);
+      batch.push_back(candidates[i]);
+    }
+    for (const Entry& e : batch) live.erase(e);
+
+    PhaseRecord rec;
+    rec.relaxed = batch.size();
+    double lo = batch.front().first;
+    double hi = lo;
+    for (const Entry& e : batch) {
+      lo = std::min(lo, e.first);
+      hi = std::max(hi, e.first);
+      if (!settled[e.second] && e.first == truth[e.second]) {
+        settled[e.second] = true;
+        ++rec.settled_relaxed;
+      }
+    }
+    rec.h_star = hi - lo;
+
+    // Synchronous relaxation of the whole batch.
+    for (const Entry& e : batch) {
+      const Graph::node_t v = e.second;
+      const double d = e.first;
+      const std::uint64_t end = g.offsets[v + 1];
+      for (std::uint64_t edge = g.offsets[v]; edge < end; ++edge) {
+        const Graph::node_t u = g.targets[edge];
+        const double nd = d + g.weights[edge];
+        if (nd < tentative[u]) {
+          tentative[u] = nd;
+          live.insert({nd, u});
+        }
+      }
+    }
+
+    result.total_relaxed += rec.relaxed;
+    result.total_settled += rec.settled_relaxed;
+    result.phases.push_back(rec);
+  }
+  return result;
+}
+
+}  // namespace kps

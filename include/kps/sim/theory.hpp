@@ -1,0 +1,33 @@
+// Theorem-5-style lower bound on useful work per phase (Figure 3, right).
+//
+// Setting: one phase of the ideal (ρ = 0) simulator relaxes R tasks whose
+// tentative distances span a window of width h.  A relaxed task (v, d)
+// fails to be settled only if some other in-flight task (u, d') with
+// d' < d can still shorten it, which requires an edge u→v (probability p
+// in G(n, p)) of weight below the window width (probability min(h, 1)
+// under U(0, 1] weights).  A union bound over the at most R − 1 better
+// in-flight tasks gives
+//
+//   E[settled] >= R · (1 − (R − 1) · p · min(h, 1))
+//
+// clamped to [0, R].  The bound is deliberately conservative (union bound,
+// single-hop dominance); fig3_simulation checks it never exceeds the
+// simulated settled count.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace kps {
+
+inline double settled_lower_bound(std::uint64_t /*n*/, double p,
+                                  std::uint64_t relaxed, double h_star) {
+  if (relaxed == 0) return 0.0;
+  const double r = static_cast<double>(relaxed);
+  const double edge_improves = p * std::min(h_star, 1.0);
+  const double miss = (r - 1.0) * edge_improves;
+  const double bound = r * (1.0 - miss);
+  return std::clamp(bound, 0.0, r);
+}
+
+}  // namespace kps

@@ -1,0 +1,62 @@
+// Xoshiro256** — the stock fast PRNG for placement randomization, graph
+// generation and workload shuffling.  Deterministic per seed, cheap enough
+// for the storage hot paths (one rotl + two xors per draw), and with a
+// splitmix64 seeding stage so nearby seeds yield independent streams.
+#pragma once
+
+#include <cstdint>
+
+namespace kps {
+
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 1) {
+    // splitmix64 expansion: never leaves the all-zero state.
+    std::uint64_t x = seed + 0x9e3779b97f4a7c15ull;
+    for (auto& word : s_) {
+      std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  std::uint64_t operator()() { return next(); }
+
+  /// Uniform double in (0, 1] — edge weights must be strictly positive.
+  double next_unit() {
+    // 53 random bits; +1 shifts the support from [0,1) to (0,1].
+    return static_cast<double>((next() >> 11) + 1) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [0, bound).  Bias is negligible for bound << 2^64.
+  std::uint64_t next_bounded(std::uint64_t bound) {
+    return bound ? next() % bound : 0;
+  }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ull; }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4];
+};
+
+}  // namespace kps

@@ -1,0 +1,54 @@
+// Tiny TTAS spinlock with exponential backoff and yield.
+//
+// The storages take these locks almost exclusively uncontended (a place's
+// own queue) or via try_lock (steal/spy probes), so the fast path is a
+// single CAS.  The backoff-to-yield ladder matters when P exceeds the
+// hardware thread count: a pure spin would burn whole scheduler quanta
+// waiting for a preempted lock holder.
+#pragma once
+
+#include <atomic>
+#include <thread>
+
+#include "support/stats.hpp"  // kCacheLine
+
+namespace kps {
+
+class alignas(kCacheLine) Spinlock {
+ public:
+  bool try_lock() {
+    return !locked_.load(std::memory_order_relaxed) &&
+           !locked_.exchange(true, std::memory_order_acquire);
+  }
+
+  void lock() {
+    int spins = 0;
+    while (!try_lock()) {
+      do {
+        if (++spins < 64) {
+          cpu_pause();
+        } else {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      } while (locked_.load(std::memory_order_relaxed));
+    }
+  }
+
+  void unlock() { locked_.store(false, std::memory_order_release); }
+
+ private:
+  static void cpu_pause() {
+#if defined(__x86_64__) || defined(__i386__)
+    __builtin_ia32_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+  }
+
+  std::atomic<bool> locked_{false};
+};
+
+}  // namespace kps

@@ -1,0 +1,116 @@
+// Per-place event counters for the task storages and the SSSP runner.
+//
+// Every place gets its own cache-line-padded counter block so that hot-path
+// counting is a plain relaxed increment on a line nobody else writes —
+// counting must never introduce the contention it is trying to measure.
+// Aggregation (PlaceStats, total()) walks the blocks after the fact.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace kps {
+
+enum class Counter : std::size_t {
+  tasks_spawned = 0,   // every push into a storage
+  tasks_executed,      // pops that returned a task
+  pop_failures,        // pops that found the whole structure empty
+  publishes,           // hybrid: local->global publish operations
+  published_items,     // hybrid: tasks moved by those publishes
+  spied_items,         // hybrid: tasks claimed out of a foreign private queue
+  steal_attempts,      // work-stealing: victim probes
+  stolen_items,        // work-stealing: tasks actually migrated
+  push_cas_failures,   // centralized: slot CASes lost to a racing pusher
+  pop_cas_failures,    // centralized: claim CASes lost to a racing popper
+  kCount
+};
+
+inline constexpr std::size_t kNumCounters =
+    static_cast<std::size_t>(Counter::kCount);
+
+// Fixed 64 rather than std::hardware_destructive_interference_size: the
+// value must not drift with -mtune (gcc warns it can), and every target we
+// build for has 64-byte destructive interference.
+inline constexpr std::size_t kCacheLine = 64;
+
+/// A plain (non-atomic view) snapshot / aggregate of one or more places.
+struct PlaceStats {
+  std::array<std::uint64_t, kNumCounters> v{};
+
+  std::uint64_t get(Counter c) const { return v[static_cast<std::size_t>(c)]; }
+  std::uint64_t& operator[](Counter c) { return v[static_cast<std::size_t>(c)]; }
+
+  PlaceStats& operator+=(const PlaceStats& o) {
+    for (std::size_t i = 0; i < kNumCounters; ++i) v[i] += o.v[i];
+    return *this;
+  }
+};
+
+/// One place's live counter block.  Padded to full cache lines; the
+/// storages hold a pointer to their place's block and bump it with
+/// relaxed increments (no other place ever writes the same line).
+struct alignas(kCacheLine) PlaceCounters {
+  std::array<std::atomic<std::uint64_t>, kNumCounters> c{};
+
+  void inc(Counter n, std::uint64_t by = 1) {
+    c[static_cast<std::size_t>(n)].fetch_add(by, std::memory_order_relaxed);
+  }
+
+  PlaceStats snapshot() const {
+    PlaceStats out;
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      out.v[i] = c[i].load(std::memory_order_relaxed);
+    }
+    return out;
+  }
+};
+
+class StatsRegistry {
+ public:
+  explicit StatsRegistry(std::size_t places)
+      : blocks_(std::max<std::size_t>(places, 1)) {}
+
+  StatsRegistry(const StatsRegistry&) = delete;
+  StatsRegistry& operator=(const StatsRegistry&) = delete;
+
+  std::size_t places() const { return blocks_.size(); }
+
+  PlaceCounters& place(std::size_t i) { return blocks_[i]; }
+  const PlaceCounters& place(std::size_t i) const { return blocks_[i]; }
+
+  PlaceStats snapshot(std::size_t i) const { return blocks_[i].snapshot(); }
+
+  PlaceStats total() const {
+    PlaceStats out;
+    for (const auto& b : blocks_) out += b.snapshot();
+    return out;
+  }
+
+ private:
+  std::vector<PlaceCounters> blocks_;
+};
+
+/// Order statistics over pop rank errors (ablation A1 and DESIGN.md §ρ):
+/// rank = number of strictly better live tasks a relaxed pop bypassed.
+struct RankStats {
+  std::uint64_t samples = 0;
+  std::uint64_t max = 0;
+  double sum = 0;
+
+  void add(std::uint64_t rank) {
+    ++samples;
+    sum += static_cast<double>(rank);
+    if (rank > max) max = rank;
+  }
+  double mean() const {
+    return samples ? sum / static_cast<double>(samples) : 0.0;
+  }
+};
+
+}  // namespace kps

@@ -1,0 +1,75 @@
+// Tier-1: bench_common.hpp Args hardening — unknown flags are rejected,
+// values must parse, valid command lines pass.
+#include <cassert>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+
+int main() {
+  using kps::bench::Args;
+
+  std::string err;
+  const auto workload = Args::with_workload({});
+  const auto fig4 = Args::with_workload({"k", "maxp"});
+  const std::vector<std::string> placement = {"per-thread", "threads"};
+
+  // Valid shapes.
+  assert(Args::check({}, workload, &err));
+  assert(Args::check({"--paper"}, workload, &err));
+  assert(Args::check({"--n", "500", "--p", "0.3", "--paper"}, workload,
+                     &err));
+  assert(Args::check({"--per-thread", "1000", "--threads", "4"}, placement,
+                     &err));
+  assert(Args::check({"--k", "8", "--maxp", "8", "--n", "10"}, fig4, &err));
+
+  // Unknown flag: fail-fast.
+  assert(!Args::check({"--frobnicate"}, workload, &err));
+  assert(err.find("unknown flag") != std::string::npos);
+  assert(!Args::check({"--n", "5", "--bogus", "1"}, workload, &err));
+
+  // A flag valid for *another* bench is still rejected here (per-bench
+  // accept lists, not a global union).
+  assert(!Args::check({"--tasks", "100"}, fig4, &err));
+  assert(!Args::check({"--n", "5"}, placement, &err));
+
+  // Stray non-flag token.
+  assert(!Args::check({"n", "5"}, workload, &err));
+
+  // Value flag with missing value.
+  assert(!Args::check({"--n"}, workload, &err));
+  assert(!Args::check({"--n", "--paper"}, workload, &err));
+
+  // Numeric parsing: non-numeric must be detected, not read as 0.
+  std::uint64_t u = 99;
+  assert(Args::parse_u64("123", &u) && u == 123);
+  assert(!Args::parse_u64("12x", &u));
+  assert(!Args::parse_u64("", &u));
+  assert(!Args::parse_u64("x12", &u));
+  assert(!Args::parse_u64("-5", &u));   // strtoull would wrap to 2^64-5
+  assert(!Args::parse_u64("+5", &u));
+  assert(!Args::parse_u64(" 5", &u));
+
+  double d = 0;
+  assert(Args::parse_double("0.5", &d) && d == 0.5);
+  assert(Args::parse_double("1e-3", &d));
+  assert(!Args::parse_double("half", &d));
+  assert(!Args::parse_double("0.5garbage", &d));
+  assert(!Args::parse_double("nan", &d));
+  assert(!Args::parse_double("inf", &d));
+  assert(!Args::parse_double("-1", &d));  // all double flags are >= 0
+
+  // End-to-end through the accessors.
+  std::vector<std::string> raw = {"prog", "--n", "42", "--p", "0.25"};
+  std::vector<char*> argv;
+  for (auto& s : raw) argv.push_back(s.data());
+  Args args(static_cast<int>(argv.size()), argv.data());
+  assert(args.value("n", 0) == 42);
+  assert(args.value_d("p", 0) == 0.25);
+  assert(args.value("graphs", 7) == 7);  // default passthrough
+  assert(!args.flag("paper"));
+
+  std::printf("test_args: OK\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Tier-1: epoch reclamation retire/collect leak check — every retired
+// node's deleter must run exactly once, whether freed by an explicit
+// collect, the retire-threshold auto-collect, or domain teardown.
+#include <atomic>
+#include <cassert>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "support/epoch.hpp"
+
+namespace {
+
+using namespace kps;
+
+std::atomic<std::uint64_t> g_freed{0};
+std::atomic<std::uint64_t> g_allocated{0};
+
+struct Node {
+  std::uint64_t payload = 0;
+};
+
+void free_node(void* p) {
+  delete static_cast<Node*>(p);
+  g_freed.fetch_add(1, std::memory_order_relaxed);
+}
+
+Node* make_node() {
+  g_allocated.fetch_add(1, std::memory_order_relaxed);
+  return new Node();
+}
+
+void single_threaded_cycle() {
+  EpochDomain domain;
+  EpochThread t = domain.register_thread();
+  for (int i = 0; i < 100; ++i) t.retire(make_node(), free_node);
+  // With no other pinned thread the epoch advances freely: three collects
+  // move the epoch past the +3 grace period and everything above frees.
+  t.collect();
+  t.collect();
+  t.collect();
+  assert(t.pending() == 0);
+}
+
+void pinned_reader_blocks_reclamation() {
+  EpochDomain domain;
+  EpochThread writer = domain.register_thread();
+  EpochThread reader = domain.register_thread();
+
+  const std::uint64_t freed_before = g_freed.load();
+  reader.pin();
+  // Reader pinned in the current epoch: writer may advance once, but
+  // nothing retired *now* may be freed while the reader could hold it.
+  writer.retire(make_node(), free_node);
+  writer.collect();
+  writer.collect();
+  assert(g_freed.load() == freed_before);
+  reader.unpin();
+
+  writer.collect();
+  writer.collect();
+  writer.collect();
+  assert(g_freed.load() == freed_before + 1);
+}
+
+void multithreaded_churn() {
+  EpochDomain domain;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < 4; ++p) {
+    threads.emplace_back([&domain] {
+      EpochThread t = domain.register_thread();
+      for (int i = 0; i < 5000; ++i) {
+        EpochGuard g(t);
+        t.retire(make_node(), free_node);
+      }
+      t.collect();
+      // Leftovers ride the orphan list to the domain destructor.
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace
+
+int main() {
+  single_threaded_cycle();
+  pinned_reader_blocks_reclamation();
+  multithreaded_churn();  // domain destroyed inside → orphans freed
+  assert(g_allocated.load() == g_freed.load());
+  std::printf("test_epoch: OK (%llu nodes allocated and freed)\n",
+              static_cast<unsigned long long>(g_freed.load()));
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Tier-1: heap property and extract_half invariants for all three
+// sequential queue components.
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <vector>
+
+#include "queues/binary_heap.hpp"
+#include "queues/dary_heap.hpp"
+#include "queues/pairing_heap.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace kps;
+
+struct Less {
+  bool operator()(double a, double b) const { return a < b; }
+};
+
+template <typename Q>
+void check_sorted_pops(const char* name, std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Q q;
+  std::vector<double> ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = rng.next_unit();
+    q.push(v);
+    ref.push_back(v);
+  }
+  assert(q.size() == n);
+  std::sort(ref.begin(), ref.end());
+  for (std::size_t i = 0; i < n; ++i) {
+    assert(!q.empty());
+    const double got = q.pop();
+    if (got != ref[i]) {
+      std::fprintf(stderr, "%s: pop %zu expected %.17g got %.17g\n", name, i,
+                   ref[i], got);
+      assert(false);
+    }
+  }
+  assert(q.empty());
+}
+
+template <typename Q>
+void check_extract_half(const char* name, std::size_t n, std::uint64_t seed,
+                        bool exact_split) {
+  Xoshiro256 rng(seed);
+  Q q;
+  std::vector<double> ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = rng.next_unit();
+    q.push(v);
+    ref.push_back(v);
+  }
+
+  std::vector<double> loot;
+  q.extract_half(loot);
+
+  if (exact_split) {
+    // Array heaps split off exactly the parent-free suffix.
+    assert(loot.size() == n - (n + 1) / 2);
+  } else if (n >= 2) {
+    assert(!loot.empty());    // pairing heap moves at least one element
+    assert(loot.size() < n);  // ... and never the root
+  }
+  assert(q.size() + loot.size() == n);
+
+  // Conservation: remaining pops + loot == original multiset, and the
+  // remaining structure still pops in sorted order.
+  std::vector<double> rest;
+  double prev = -1.0;
+  while (!q.empty()) {
+    const double got = q.pop();
+    assert(got >= prev);
+    prev = got;
+    rest.push_back(got);
+  }
+  rest.insert(rest.end(), loot.begin(), loot.end());
+  std::sort(rest.begin(), rest.end());
+  std::sort(ref.begin(), ref.end());
+  assert(rest == ref);
+}
+
+template <typename Q>
+void check_interleaved(std::size_t rounds, std::uint64_t seed) {
+  // Dijkstra-like hot pattern: pop one, push two slightly larger.
+  Xoshiro256 rng(seed);
+  Q q;
+  for (int i = 0; i < 64; ++i) q.push(rng.next_unit());
+  double floor_val = 0;
+  for (std::size_t i = 0; i < rounds; ++i) {
+    const double top = q.pop();
+    assert(top >= floor_val);
+    floor_val = top;
+    q.push(top + rng.next_unit() * 0.01);
+    q.push(top + rng.next_unit() * 0.01);
+    q.pop();
+  }
+}
+
+}  // namespace
+
+int main() {
+  using Binary = BinaryHeap<double, Less>;
+  using Dary4 = DaryHeap<double, Less, 4>;
+  using Dary8 = DaryHeap<double, Less, 8>;
+  using Pairing = PairingHeap<double, Less>;
+
+  for (std::uint64_t seed : {1, 2, 3}) {
+    for (std::size_t n : {1, 2, 7, 64, 1000}) {
+      check_sorted_pops<Binary>("binary", n, seed);
+      check_sorted_pops<Dary4>("dary4", n, seed);
+      check_sorted_pops<Dary8>("dary8", n, seed);
+      check_sorted_pops<Pairing>("pairing", n, seed);
+
+      check_extract_half<Binary>("binary", n, seed, true);
+      check_extract_half<Dary4>("dary4", n, seed, true);
+      check_extract_half<Pairing>("pairing", n, seed, false);
+    }
+    check_interleaved<Binary>(5000, seed);
+    check_interleaved<Dary4>(5000, seed);
+    check_interleaved<Pairing>(5000, seed);
+  }
+  std::printf("test_queues: OK\n");
+  return 0;
+}

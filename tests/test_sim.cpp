@@ -1,0 +1,58 @@
+// Tier-1: phase simulator sanity — conservation of settled nodes, the
+// strict queue settles everything it relaxes early on, and the Theorem-5
+// bound never exceeds the simulated settled count.
+#include <cassert>
+#include <cstdio>
+
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "sim/phase_sim.hpp"
+#include "sim/theory.hpp"
+
+int main() {
+  using namespace kps;
+
+  for (std::uint64_t seed : {1, 7}) {
+    const Graph g = erdos_renyi(500, 0.1, seed);
+    const auto truth = dijkstra(g, 0);
+
+    for (std::uint64_t rho : {std::uint64_t{0}, std::uint64_t{64}}) {
+      const SimResult r = simulate_phases(g, 0, {.P = 16, .rho = rho,
+                                                 .seed = seed + 10});
+      assert(!r.phases.empty());
+
+      // Every reachable node settles exactly once over the whole run.
+      assert(r.total_settled == truth.relaxations);
+      // Work is conservative: you cannot settle more than you relax.
+      std::uint64_t settled = 0;
+      std::uint64_t relaxed = 0;
+      double bound_total = 0;
+      for (const PhaseRecord& ph : r.phases) {
+        assert(ph.settled_relaxed <= ph.relaxed);
+        assert(ph.h_star >= 0.0);
+        settled += ph.settled_relaxed;
+        relaxed += ph.relaxed;
+        bound_total += settled_lower_bound(500, 0.1, ph.relaxed, ph.h_star);
+      }
+      assert(settled == r.total_settled);
+      assert(relaxed == r.total_relaxed);
+      assert(relaxed >= settled);
+      if (rho == 0) {
+        // Theorem 5 bounds the expectation; aggregated over a whole run it
+        // must sit below the realized settled count (5% statistical slack,
+        // same tolerance fig3_simulation reports against).
+        assert(bound_total <= 1.05 * static_cast<double>(settled));
+      }
+    }
+  }
+
+  // Degenerate graphs must not loop or crash.
+  {
+    const Graph g = erdos_renyi(1, 0.5, 3);
+    const SimResult r = simulate_phases(g, 0, {.P = 4, .rho = 0, .seed = 1});
+    assert(r.total_settled == 1);  // just the source
+  }
+
+  std::printf("test_sim: OK\n");
+  return 0;
+}

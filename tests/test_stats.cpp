@@ -1,0 +1,52 @@
+// Tier-1: StatsRegistry aggregation semantics and cache-line padding.
+#include <cassert>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "support/stats.hpp"
+
+int main() {
+  using namespace kps;
+
+  static_assert(sizeof(PlaceCounters) % kCacheLine == 0,
+                "counter blocks must not share cache lines");
+  static_assert(alignof(PlaceCounters) == kCacheLine);
+
+  StatsRegistry stats(4);
+  assert(stats.places() == 4);
+
+  std::vector<std::thread> threads;
+  for (std::size_t p = 0; p < 4; ++p) {
+    threads.emplace_back([&stats, p] {
+      auto& c = stats.place(p);
+      for (std::uint64_t i = 0; i < 10000; ++i) {
+        c.inc(Counter::tasks_spawned);
+        if (i % 2 == 0) c.inc(Counter::tasks_executed);
+      }
+      c.inc(Counter::stolen_items, p);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const PlaceStats total = stats.total();
+  assert(total.get(Counter::tasks_spawned) == 40000);
+  assert(total.get(Counter::tasks_executed) == 20000);
+  assert(total.get(Counter::stolen_items) == 0 + 1 + 2 + 3);
+  assert(total.get(Counter::pop_failures) == 0);
+
+  PlaceStats sum;
+  for (std::size_t p = 0; p < 4; ++p) sum += stats.snapshot(p);
+  for (std::size_t i = 0; i < kNumCounters; ++i) assert(sum.v[i] == total.v[i]);
+
+  RankStats ranks;
+  ranks.add(0);
+  ranks.add(10);
+  ranks.add(2);
+  assert(ranks.samples == 3);
+  assert(ranks.max == 10);
+  assert(ranks.mean() == 4.0);
+
+  std::printf("test_stats: OK\n");
+  return 0;
+}

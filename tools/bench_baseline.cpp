@@ -1,0 +1,102 @@
+// Baseline recorder: one JSON document comparing parallel-SSSP wall time
+// and wasted work across every storage, at fixed (n, p, P, k).
+//
+//   ./build/tools/bench_baseline --n 2000 --P 8 --k 1024 > BENCH_pr1.json
+//
+// The per-PR BENCH_*.json trajectory is measured with this tool so later
+// perf PRs are judged against identical methodology.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.hpp"
+#include "core/centralized_kpq.hpp"
+#include "core/global_pq.hpp"
+#include "core/hybrid_kpq.hpp"
+#include "core/multiqueue.hpp"
+#include "core/ws_deque_pool.hpp"
+#include "core/ws_priority.hpp"
+
+namespace {
+using namespace kps;
+using namespace kps::bench;
+
+template <typename Storage>
+SsspAggregate measure(const std::vector<Graph>& graphs, std::size_t P,
+                      int k) {
+  SsspAggregate agg;
+  for (std::size_t g = 0; g < graphs.size(); ++g) {
+    run_sssp<Storage>(graphs[g], P, k, 100 * g + 1, agg);
+  }
+  return agg;
+}
+
+void emit(const char* name, const SsspAggregate& a, bool last) {
+  std::printf(
+      "    \"%s\": {\"time_s\": %.6f, \"time_stderr\": %.6f, "
+      "\"nodes_relaxed\": %.1f, \"tasks_spawned\": %.1f}%s\n",
+      name, a.seconds.mean(), a.seconds.stderr_(), a.nodes_relaxed.mean(),
+      a.tasks_spawned.mean(), last ? "" : ",");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv, {"P", "k"});
+  Workload w = workload_from_args(args);
+  if (!args.flag("paper")) {
+    w.n = args.value("n", 2000);
+    w.graphs = args.value("graphs", 3);
+  }
+  const std::size_t P = args.value("P", 8);
+  const int k = static_cast<int>(args.value("k", 1024));
+
+  // Generation is pure in (n, p, seed): build each graph once and share
+  // it across the sequential baseline and all six storages.
+  std::vector<Graph> graphs;
+  graphs.reserve(w.graphs);
+  for (std::uint64_t g = 0; g < w.graphs; ++g) {
+    graphs.push_back(
+        erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g));
+  }
+
+  SsspAggregate seq;
+  for (const Graph& graph : graphs) {
+    const auto t0 = std::chrono::steady_clock::now();
+    auto r = dijkstra(graph, 0);
+    const auto t1 = std::chrono::steady_clock::now();
+    seq.seconds.add(std::chrono::duration<double>(t1 - t0).count());
+    seq.nodes_relaxed.add(static_cast<double>(r.relaxations));
+  }
+
+  const auto global_pq = measure<GlobalLockedPq<SsspTask>>(graphs, P, k);
+  const auto central = measure<CentralizedKpq<SsspTask>>(graphs, P, k);
+  const auto hybrid = measure<HybridKpq<SsspTask>>(graphs, P, k);
+  const auto multiq = measure<MultiQueuePool<SsspTask>>(graphs, P, k);
+  const auto ws_prio = measure<WsPriorityPool<SsspTask>>(graphs, P, k);
+  const auto ws_deque = measure<WsDequePool<SsspTask>>(graphs, P, k);
+
+  std::printf("{\n");
+  std::printf("  \"workload\": {\"n\": %llu, \"p\": %.2f, \"graphs\": %llu, "
+              "\"P\": %zu, \"k\": %d},\n",
+              static_cast<unsigned long long>(w.n), w.p,
+              static_cast<unsigned long long>(w.graphs), P, k);
+  std::printf("  \"hardware_threads\": %u,\n",
+              std::thread::hardware_concurrency());
+  std::printf("  \"sssp\": {\n");
+  emit("sequential_dijkstra", seq, false);
+  emit("global_pq", global_pq, false);
+  emit("centralized_kpq", central, false);
+  emit("hybrid_kpq", hybrid, false);
+  emit("multiqueue", multiq, false);
+  emit("ws_priority", ws_prio, false);
+  emit("ws_deque", ws_deque, true);
+  std::printf("  },\n");
+  std::printf("  \"speedup_vs_global_pq\": {\"hybrid\": %.2f, "
+              "\"multiqueue\": %.2f, \"ws_priority\": %.2f}\n",
+              global_pq.seconds.mean() / hybrid.seconds.mean(),
+              global_pq.seconds.mean() / multiq.seconds.mean(),
+              global_pq.seconds.mean() / ws_prio.seconds.mean());
+  std::printf("}\n");
+  return 0;
+}
