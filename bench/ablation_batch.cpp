@@ -1,0 +1,135 @@
+// Ablation A10 (DESIGN.md): batched publish in the hybrid structure.
+//
+// PR-1 published by pushing every flushed task into the shard heap —
+// O(log n_pub) per task with the published tier as n_pub.  The batched
+// path extracts the private heap as one ascending run and splices it into
+// the shard as sorted segments (O(log S) per segment, independent of run
+// length and shard size).  cfg.publish_batch caps the segment length and
+// publish_batch <= 1 selects the legacy per-task path, so one knob sweeps
+// the whole axis.
+//
+// Two panels:
+//   1. publish-side microcosm — one place pushes --churn-ops tasks and
+//      never pops, so the published tier grows large and the flush cost
+//      dominates; then everything is drained to show the pop side pays at
+//      most a modest price for the segment indirection.
+//   2. SSSP end-to-end across the same batch sweep (wasted work must not
+//      move: batching changes publish COST, not relaxation semantics).
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/hybrid_kpq.hpp"
+#include "core/task_types.hpp"
+
+namespace {
+using namespace kps;
+using namespace kps::bench;
+
+struct FloodResult {
+  double push_s = 0;
+  double pop_s = 0;
+  double publishes = 0;
+  double segment_merges = 0;
+};
+
+// Publish-flood: push `ops` tasks at relaxation window `k` with no
+// consumer, forcing ops/k publishes into an ever-larger published tier,
+// then drain it all.
+FloodResult publish_flood(int batch, int k, std::uint64_t ops) {
+  using ChurnTask = Task<std::uint64_t, double>;
+  StorageConfig cfg;
+  cfg.k_max = k;
+  cfg.default_k = k;
+  cfg.publish_batch = batch;
+  StatsRegistry stats(1);
+  HybridKpq<ChurnTask> q(1, cfg, &stats);
+  auto& place = q.place(0);
+  Xoshiro256 rng(1);
+
+  FloodResult r;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t i = 0; i < ops; ++i) {
+    q.push(place, k, {rng.next_unit(), i});
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  std::uint64_t got = 0;
+  while (q.pop(place)) ++got;
+  const auto t2 = std::chrono::steady_clock::now();
+
+  r.push_s = std::chrono::duration<double>(t1 - t0).count();
+  r.pop_s = std::chrono::duration<double>(t2 - t1).count();
+  const PlaceStats total = stats.total();
+  r.publishes = static_cast<double>(total.get(Counter::publishes));
+  r.segment_merges =
+      static_cast<double>(total.get(Counter::segment_merges));
+  if (got != ops) {
+    std::fprintf(stderr, "lost tasks: pushed %llu popped %llu\n",
+                 static_cast<unsigned long long>(ops),
+                 static_cast<unsigned long long>(got));
+    std::exit(1);
+  }
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args(argc, argv, {"P", "k", "churn-ops"});
+  Workload w = workload_from_args(args);
+  const std::uint64_t P = args.value("P", 8);
+  const int k = static_cast<int>(args.value("k", 256));
+  const std::uint64_t ops = args.value("churn-ops", 1000000);
+  const std::vector<int> batches = {1, 16, 64, 256, 1024};
+
+  print_header("Ablation A10: batched publish (hybrid)", w);
+  std::printf("# P=%llu k=%d flood_ops=%llu\n",
+              static_cast<unsigned long long>(P), k,
+              static_cast<unsigned long long>(ops));
+
+  std::printf("## publish flood (1 place, push-only then drain)\n");
+  std::printf("batch,push_s,push_mops,pop_s,pop_mops,total_mops,publishes,"
+              "segment_merges\n");
+  for (int batch : batches) {
+    const FloodResult r = publish_flood(batch, k, ops);
+    const double mops = static_cast<double>(ops) / 1e6;
+    std::printf("%d,%.4f,%.2f,%.4f,%.2f,%.2f,%.0f,%.0f\n", batch, r.push_s,
+                mops / r.push_s, r.pop_s, mops / r.pop_s,
+                2 * mops / (r.push_s + r.pop_s), r.publishes,
+                r.segment_merges);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n## SSSP end-to-end\n");
+  std::printf("batch,time_s,nodes_relaxed,publishes,published_items\n");
+  for (int batch : batches) {
+    SsspAggregate agg;
+    for (std::uint64_t g = 0; g < w.graphs; ++g) {
+      Graph graph =
+          erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
+      StorageConfig cfg;
+      cfg.publish_batch = batch;
+      run_sssp<HybridKpq<SsspTask>>(graph, P, k, 60 * g + 1, agg, cfg);
+    }
+    const double graphs = static_cast<double>(w.graphs);
+    std::printf(
+        "%d,%.4f,%.0f,%.0f,%.0f\n", batch, agg.seconds.mean(),
+        agg.nodes_relaxed.mean(),
+        static_cast<double>(agg.counters.get(Counter::publishes)) / graphs,
+        static_cast<double>(agg.counters.get(Counter::published_items)) /
+            graphs);
+    std::fflush(stdout);
+  }
+
+  std::printf("\n# expectation: the published-tier round trip (total_mops) "
+              "and SSSP time improve from batch=1 to batch>=64 — per-task "
+              "pushes are cheap to INGEST (random-key heap push is ~O(1) "
+              "amortized) but expensive to DRAIN (O(log n) sift-downs over "
+              "a huge heap array), while sorted segments stream "
+              "sequentially; SSSP relaxation quality is batch-independent "
+              "in expectation (the knob moves publish cost, not semantics "
+              "— on a 1-core box the P>1 columns carry scheduling "
+              "noise)\n");
+  return 0;
+}

@@ -200,6 +200,17 @@ inline Workload workload_from_args(const Args& args) {
   return w;
 }
 
+/// Shared --publish-batch plumbing (ablation A10): the flag name every
+/// batch-aware harness accepts, and its application to a StorageConfig.
+inline constexpr const char* kPublishBatchFlag = "publish-batch";
+
+inline StorageConfig apply_publish_batch(const Args& args,
+                                         StorageConfig cfg = {}) {
+  cfg.publish_batch = static_cast<int>(args.value(
+      kPublishBatchFlag, static_cast<std::uint64_t>(cfg.publish_batch)));
+  return cfg;
+}
+
 struct SsspAggregate {
   Mean seconds;
   Mean nodes_relaxed;

@@ -21,7 +21,7 @@ using namespace kps::bench;
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args(argc, argv, {"P"});
+  Args args(argc, argv, {"P", kPublishBatchFlag});
   Workload w = workload_from_args(args);
   if (!args.flag("paper")) {
     w.n = args.value("n", 10000);
@@ -53,7 +53,7 @@ int main(int argc, char** argv) {
       run_sssp<CentralizedKpq<SsspTask>>(graph, P, std::max(k, 1),
                                          20 * g + 2, central[i]);
       // Hybrid honours k = 0 (publish on every push).
-      StorageConfig hybrid_cfg;
+      StorageConfig hybrid_cfg = apply_publish_batch(args);
       hybrid_cfg.k_max = std::max(k, 0);
       hybrid_cfg.default_k = std::max(k, 0);
       hybrid_cfg.seed = 20 * g + 3;

@@ -65,6 +65,37 @@ void BM_ContendedPushPop(benchmark::State& state) {
                           batch * 2);
 }
 
+// Occupancy-summary scan cost (ISSUE-2 acceptance): k = 4096 window with
+// ~64 live tasks — the sparse large-k regime where fig5's centralized
+// cliff lives.  Arg(0) = PR-1 linear scan, Arg(1) = bitmap summary; the
+// slot_loads_per_pop counter is the machine-independent comparison (the
+// linear scan pays 4096 loads per scan, the summary pays k/64 word loads
+// plus one load per occupied slot).
+void BM_CentralPopScan(benchmark::State& state) {
+  StorageConfig cfg{.k_max = 4096, .default_k = 4096};
+  cfg.occupancy_summary = state.range(0) != 0;
+  StatsRegistry stats(1);
+  CentralizedKpq<BenchTask> storage(1, cfg, &stats);
+  auto& place = storage.place(0);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 64; ++i) {
+    storage.push(place, 4096, {rng.next_unit(), static_cast<std::uint64_t>(i)});
+  }
+  for (auto _ : state) {
+    storage.push(place, 4096, {rng.next_unit(), 0});
+    auto t = storage.pop(place);
+    benchmark::DoNotOptimize(t);
+  }
+  const auto total = stats.total();
+  const double pops =
+      static_cast<double>(total.get(Counter::tasks_executed));
+  state.counters["slot_loads_per_pop"] =
+      static_cast<double>(total.get(Counter::slot_loads)) / pops;
+  state.counters["summary_loads_per_pop"] =
+      static_cast<double>(total.get(Counter::summary_loads)) / pops;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
 using Central = CentralizedKpq<BenchTask>;
 using Hybrid = HybridKpq<BenchTask>;
 using WsPrio = WsPriorityPool<BenchTask>;
@@ -87,5 +118,7 @@ BENCHMARK_TEMPLATE(BM_ContendedPushPop, WsPrio)->Threads(2)->Threads(4)->UseReal
 BENCHMARK_TEMPLATE(BM_ContendedPushPop, WsDeque)->Threads(2)->Threads(4)->UseRealTime();
 BENCHMARK_TEMPLATE(BM_ContendedPushPop, GlobalPq)->Threads(2)->Threads(4)->UseRealTime();
 BENCHMARK_TEMPLATE(BM_ContendedPushPop, MultiQ)->Threads(2)->Threads(4)->UseRealTime();
+
+BENCHMARK(BM_CentralPopScan)->Arg(0)->Arg(1);
 
 BENCHMARK_MAIN();

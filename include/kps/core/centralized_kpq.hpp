@@ -11,13 +11,33 @@
 //          one CAS.  A claimed node is retired through the epoch domain,
 //          because concurrent scanners may still be dereferencing it.
 //
+// Occupancy summary (cfg.occupancy_summary, on by default): one 64-bit
+// word per 64 slots mirrors which slots are occupied, so a pop scan costs
+// O(k/64) word loads plus one slot load per *occupied* slot instead of k
+// slot loads — the fix for fig5's large-k cliff.  The bitmap is a hint
+// maintained so that, at quiescence, bit set ⊇ slot occupied:
+//
+//   * a pusher sets the bit only AFTER its slot CAS succeeds, so a set
+//     bit reliably leads scanners to a (possibly just-claimed) node;
+//   * a claimer clears the bit after emptying the slot, then re-reads the
+//     slot and re-sets the bit if a racing pusher refilled it in between
+//     (the clear/set race would otherwise hide a live task forever);
+//   * a scanner that finds a set bit over an empty slot applies the same
+//     healed clear lazily, so a heal re-set that itself lost a race with
+//     a second claimer cannot strand window capacity behind a stale bit;
+//   * transient windows (bit not yet set, or cleared around a claim) only
+//     make a scan miss a task momentarily — pop is allowed to be weakly
+//     complete, and the bit becomes visible on the next attempt.
+//
 // Relaxation guarantee: only window tasks can be bypassed, so a pop's rank
 // error is bounded by k regardless of P (ablation A1 measures this).
 #pragma once
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
@@ -49,10 +69,12 @@ class CentralizedKpq {
                  StatsRegistry* stats = nullptr)
       : cfg_(cfg),
         window_(static_cast<std::size_t>(std::max(cfg.k_max, 1))),
+        summary_((window_.size() + 63) / 64),
         places_(places ? places : 1) {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg, stats);
     for (auto& s : window_) s.store(nullptr, std::memory_order_relaxed);
+    for (auto& w : summary_) w.store(0, std::memory_order_relaxed);
     for (auto& p : places_) p.epoch = domain_.register_thread();
   }
 
@@ -72,17 +94,21 @@ class CentralizedKpq {
     // retired — only pop pays the pin fence.
     const std::size_t start =
         cfg_.randomize_placement ? p.rng.next_bounded(window) : 0;
-    for (std::size_t i = 0; i < window; ++i) {
-      const std::size_t idx = start + i < window ? start + i
-                                                 : start + i - window;
-      TaskT* expected = window_[idx].load(std::memory_order_relaxed);
-      if (expected != nullptr) continue;
-      if (window_[idx].compare_exchange_strong(expected, node,
-                                               std::memory_order_release,
-                                               std::memory_order_relaxed)) {
-        return;
+    if (cfg_.occupancy_summary) {
+      if (push_summary_guided(p, window, start, node)) return;
+    } else {
+      for (std::size_t i = 0; i < window; ++i) {
+        const std::size_t idx = start + i < window ? start + i
+                                                   : start + i - window;
+        TaskT* expected = window_[idx].load(std::memory_order_relaxed);
+        if (expected != nullptr) continue;
+        if (window_[idx].compare_exchange_strong(expected, node,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed)) {
+          return;
+        }
+        p.counters->inc(Counter::push_cas_failures);
       }
-      p.counters->inc(Counter::push_cas_failures);
     }
     // Window full: the task leaves the relaxed tier for the strict heap.
     overflow_lock_.lock();
@@ -101,12 +127,41 @@ class CentralizedKpq {
       // Best published window node this scan.
       TaskT* best = nullptr;
       std::size_t best_idx = 0;
-      for (std::size_t i = 0; i < window; ++i) {
-        TaskT* node = window_[i].load(std::memory_order_acquire);
-        if (node && (!best || node->priority < best->priority)) {
-          best = node;
-          best_idx = i;
+      if (cfg_.occupancy_summary) {
+        std::uint64_t slot_loads = 0;
+        p.counters->inc(Counter::summary_loads, summary_.size());
+        for (std::size_t w = 0; w < summary_.size(); ++w) {
+          std::uint64_t occ = summary_[w].load(std::memory_order_acquire);
+          while (occ) {
+            const std::size_t idx =
+                w * 64 + static_cast<std::size_t>(std::countr_zero(occ));
+            occ &= occ - 1;
+            TaskT* node = window_[idx].load(std::memory_order_acquire);
+            ++slot_loads;
+            if (node) {
+              if (!best || node->priority < best->priority) {
+                best = node;
+                best_idx = idx;
+              }
+            } else {
+              // Stale-set repair: a heal re-set that lost a race with a
+              // second claimer can strand a set bit over an empty slot,
+              // and pushers never probe set bits — without this lazy
+              // clear the window would leak capacity monotonically.
+              clear_bit_healed(idx);
+            }
+          }
         }
+        p.counters->inc(Counter::slot_loads, slot_loads);
+      } else {
+        for (std::size_t i = 0; i < window; ++i) {
+          TaskT* node = window_[i].load(std::memory_order_acquire);
+          if (node && (!best || node->priority < best->priority)) {
+            best = node;
+            best_idx = i;
+          }
+        }
+        p.counters->inc(Counter::slot_loads, window);
       }
 
       const double heap_min =
@@ -132,6 +187,7 @@ class CentralizedKpq {
               expected, nullptr, std::memory_order_acq_rel,
               std::memory_order_relaxed)) {
         TaskT out = *best;
+        if (cfg_.occupancy_summary) clear_bit_healed(best_idx);
         p.epoch.retire(best,
                        [](void* ptr) { delete static_cast<TaskT*>(ptr); });
         p.counters->inc(Counter::tasks_executed);
@@ -145,6 +201,55 @@ class CentralizedKpq {
 
  private:
   static constexpr double kEmpty = std::numeric_limits<double>::infinity();
+
+  /// Summary-guided free-slot probe: skip words whose 64 slots all look
+  /// occupied, CAS into clear-bit candidates.  A stale-set bit (claim in
+  /// flight) can hide a momentarily free slot; the worst case is a false
+  /// overflow into the strict heap — never a lost task.
+  bool push_summary_guided(Place& p, std::size_t window, std::size_t start,
+                           TaskT* node) {
+    const std::size_t words = (window + 63) / 64;
+    for (std::size_t i = 0; i < words; ++i) {
+      std::size_t w = start / 64 + i;
+      if (w >= words) w -= words;
+      // Bits beyond the per-op window (or the array) are not candidates.
+      const std::size_t base = w * 64;
+      const std::uint64_t valid =
+          window - base >= 64 ? ~std::uint64_t{0}
+                              : (std::uint64_t{1} << (window - base)) - 1;
+      std::uint64_t free_bits =
+          ~summary_[w].load(std::memory_order_relaxed) & valid;
+      while (free_bits) {
+        const std::size_t idx =
+            base + static_cast<std::size_t>(std::countr_zero(free_bits));
+        free_bits &= free_bits - 1;
+        TaskT* expected = window_[idx].load(std::memory_order_relaxed);
+        if (expected != nullptr) continue;
+        if (window_[idx].compare_exchange_strong(expected, node,
+                                                 std::memory_order_release,
+                                                 std::memory_order_relaxed)) {
+          summary_[w].fetch_or(std::uint64_t{1} << (idx - base),
+                               std::memory_order_release);
+          return true;
+        }
+        p.counters->inc(Counter::push_cas_failures);
+      }
+    }
+    return false;
+  }
+
+  /// Clear a claimed slot's summary bit, then heal the clear/set race: if
+  /// a pusher refilled the slot between our claim CAS and the clear, the
+  /// re-read sees its node (the pusher's fetch_or on the same word orders
+  /// its slot store before our fetch_and's view) and re-sets the bit.
+  void clear_bit_healed(std::size_t idx) {
+    auto& word = summary_[idx / 64];
+    const std::uint64_t bit = std::uint64_t{1} << (idx % 64);
+    word.fetch_and(~bit, std::memory_order_acq_rel);
+    if (window_[idx].load(std::memory_order_acquire) != nullptr) {
+      word.fetch_or(bit, std::memory_order_release);
+    }
+  }
 
   std::size_t window_size(int k) const {
     const auto requested = static_cast<std::size_t>(std::max(k, 1));
@@ -161,6 +266,7 @@ class CentralizedKpq {
   StorageConfig cfg_;
   EpochDomain domain_;  // declared before places_: EpochThreads must die first
   std::vector<std::atomic<TaskT*>> window_;
+  std::vector<std::atomic<std::uint64_t>> summary_;  // 1 bit per window slot
   Spinlock overflow_lock_;
   DaryHeap<TaskT, TaskLess, 4> overflow_;
   std::atomic<double> overflow_min_{kEmpty};

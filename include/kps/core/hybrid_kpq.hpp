@@ -11,9 +11,14 @@
 //              one read of the cached published minimum.
 //   published— every k-th push (temporal ρ-relaxation) — or once k *live*
 //              private tasks accumulate (structural, §5.3) — the owner
-//              flushes its private heap into its published heap, a
-//              spinlocked per-place heap with a cached atomic minimum.
-//              The P published heaps together form the global tier: any
+//              flushes its private heap into its published shard: a
+//              spinlocked heap PLUS a store of pre-sorted segments, with
+//              one cached atomic minimum over both.  A batched publish
+//              (cfg.publish_batch > 1, ablation A10) extracts the private
+//              heap as one ascending run and ingests it as segments of at
+//              most publish_batch tasks — O(log S) per segment against the
+//              segment-head index instead of one O(log n) heap push per
+//              task.  The P shards together form the global tier: any
 //              place may pop from any of them, guided by the cached
 //              minima, so a publish is the only moment a place's tasks
 //              cost coherence traffic — 1/k of pushes.
@@ -29,12 +34,14 @@
 // executing local work, keeping the realized rank error far below ρ.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/storage_traits.hpp"
@@ -51,6 +58,29 @@ class HybridKpq {
  public:
   using task_type = TaskT;
 
+  /// One pre-sorted run inside a published shard; `head` indexes the best
+  /// not-yet-consumed task.  Exhausted segments park their slot on a free
+  /// list and their vector on a pool, so steady-state publishes allocate
+  /// nothing.
+  struct Segment {
+    std::vector<TaskT> run;
+    std::size_t head = 0;
+  };
+
+  /// Segment-head index entry: the priority of segment `seg`'s current
+  /// head.  Maintained exactly (one live entry per live segment, updated
+  /// under pub_lock whenever a head advances), so its top IS the best
+  /// segment task of the shard.
+  struct SegHead {
+    double priority;
+    std::uint32_t seg;
+  };
+  struct SegHeadLess {
+    bool operator()(const SegHead& a, const SegHead& b) const {
+      return a.priority < b.priority;
+    }
+  };
+
   struct alignas(kCacheLine) Place {
     std::size_t index = 0;
     PlaceCounters* counters = nullptr;
@@ -63,9 +93,15 @@ class HybridKpq {
     std::uint64_t pushes_since_publish = 0;  // touched only under the lock
     std::atomic<double> private_min{kEmptyMin};
 
-    // Published tier (this place's shard of the global list).
+    // Published tier (this place's shard of the global list): a heap for
+    // singleton publishes (k = 0 / publish_batch <= 1) plus the sorted
+    // segment store, everything below guarded by pub_lock.
     Spinlock pub_lock;
     DaryHeap<TaskT, TaskLess, 4> pub_heap;
+    std::vector<Segment> segments;            // slot-addressed
+    std::vector<std::uint32_t> segment_free;  // recycled slots
+    DaryHeap<SegHead, SegHeadLess, 4> seg_index;
+    std::vector<std::vector<TaskT>> run_pool;  // recycled run capacity
     std::atomic<double> pub_min{kEmptyMin};
 
     std::vector<TaskT> flush_buf;  // reused publish buffer
@@ -76,11 +112,19 @@ class HybridKpq {
                             : static_cast<double>(private_heap.top().priority),
                         std::memory_order_release);
     }
+    /// Best task anywhere in this shard (heap or a segment head).
+    /// Requires pub_lock.
+    double shard_min() const {
+      double m = pub_heap.empty()
+                     ? kEmptyMin
+                     : static_cast<double>(pub_heap.top().priority);
+      if (!seg_index.empty() && seg_index.top().priority < m) {
+        m = seg_index.top().priority;
+      }
+      return m;
+    }
     void publish_pub_min() {
-      pub_min.store(pub_heap.empty()
-                        ? kEmptyMin
-                        : static_cast<double>(pub_heap.top().priority),
-                    std::memory_order_release);
+      pub_min.store(shard_min(), std::memory_order_release);
     }
   };
 
@@ -121,19 +165,43 @@ class HybridKpq {
     }
 
     // Publish: flush the private heap into this place's published shard.
+    // Batched mode extracts one ascending run (sequential drain + sort)
+    // and hands the shard sorted segments; the legacy per-task mode pays
+    // one O(log n) heap push per flushed task.
+    const bool batched = cfg_.publish_batch > 1;
     p.flush_buf.clear();
-    p.private_heap.drain_unordered(p.flush_buf);
+    if (batched) {
+      p.private_heap.extract_sorted_segment(p.flush_buf);
+    } else {
+      p.private_heap.drain_unordered(p.flush_buf);
+    }
     p.pushes_since_publish = 0;
     p.publish_private_min();
     p.private_lock.unlock();
 
+    const std::size_t flushed = p.flush_buf.size();
     p.pub_lock.lock();
-    for (TaskT& t : p.flush_buf) p.pub_heap.push(t);
+    if (batched) {
+      const auto batch = static_cast<std::size_t>(cfg_.publish_batch);
+      if (flushed <= batch) {
+        // Whole run fits one segment: swap the flush buffer in, no copy.
+        ingest_sorted_run_swap(p, p.flush_buf);
+        p.counters->inc(Counter::segment_merges);
+      } else {
+        for (std::size_t off = 0; off < flushed; off += batch) {
+          ingest_sorted_run(p, p.flush_buf.data() + off,
+                            std::min(batch, flushed - off));
+          p.counters->inc(Counter::segment_merges);
+        }
+      }
+    } else {
+      for (TaskT& t : p.flush_buf) p.pub_heap.push(t);
+    }
     p.publish_pub_min();
     p.pub_lock.unlock();
     refresh_global_pub_min();
     p.counters->inc(Counter::publishes);
-    p.counters->inc(Counter::published_items, p.flush_buf.size());
+    p.counters->inc(Counter::published_items, flushed);
   }
 
   std::optional<TaskT> pop(Place& p) {
@@ -223,13 +291,84 @@ class HybridKpq {
     return idx;
   }
 
+  /// Take a segment slot off the free list (or grow the slot array).
+  /// Requires shard.pub_lock.
+  std::uint32_t acquire_segment(Place& shard) {
+    if (!shard.segment_free.empty()) {
+      const std::uint32_t slot = shard.segment_free.back();
+      shard.segment_free.pop_back();
+      return slot;
+    }
+    shard.segments.emplace_back();
+    return static_cast<std::uint32_t>(shard.segments.size() - 1);
+  }
+
+  /// Register a freshly filled segment with the head index.
+  void commit_segment(Place& shard, std::uint32_t slot) {
+    Segment& s = shard.segments[slot];
+    s.head = 0;
+    shard.seg_index.push(
+        {static_cast<double>(s.run.front().priority), slot});
+  }
+
+  /// Segment-merge entry point: splice a pre-sorted ascending run into
+  /// `shard`'s published tier as one segment — O(log S) against the
+  /// segment-head index, independent of the run length and of the shard
+  /// heap's size.  Requires shard.pub_lock; caller refreshes the minima.
+  void ingest_sorted_run(Place& shard, TaskT* first, std::size_t count) {
+    const std::uint32_t slot = acquire_segment(shard);
+    Segment& s = shard.segments[slot];
+    if (s.run.capacity() == 0 && !shard.run_pool.empty()) {
+      s.run = std::move(shard.run_pool.back());
+      shard.run_pool.pop_back();
+    }
+    s.run.assign(std::make_move_iterator(first),
+                 std::make_move_iterator(first + count));
+    commit_segment(shard, slot);
+  }
+
+  /// Copy-free variant for a run that fits one segment: swap the owner's
+  /// flush buffer with the segment's vector, leaving recycled capacity
+  /// behind for the next flush.  Requires shard.pub_lock.
+  void ingest_sorted_run_swap(Place& shard, std::vector<TaskT>& run_buf) {
+    const std::uint32_t slot = acquire_segment(shard);
+    Segment& s = shard.segments[slot];
+    s.run.clear();
+    std::swap(s.run, run_buf);
+    if (run_buf.capacity() == 0 && !shard.run_pool.empty()) {
+      run_buf = std::move(shard.run_pool.back());
+      shard.run_pool.pop_back();
+    }
+    commit_segment(shard, slot);
+  }
+
   std::optional<TaskT> try_pop_published(Place& shard) {
     if (!shard.pub_lock.try_lock()) return std::nullopt;
     std::optional<TaskT> out;
-    if (!shard.pub_heap.empty()) {
+    const bool heap_has = !shard.pub_heap.empty();
+    const bool seg_has = !shard.seg_index.empty();
+    if (seg_has &&
+        (!heap_has || shard.seg_index.top().priority <=
+                          static_cast<double>(shard.pub_heap.top().priority))) {
+      const SegHead h = shard.seg_index.pop();
+      Segment& s = shard.segments[h.seg];
+      out = std::move(s.run[s.head]);
+      ++s.head;
+      if (s.head < s.run.size()) {
+        shard.seg_index.push(
+            {static_cast<double>(s.run[s.head].priority), h.seg});
+      } else {
+        // Exhausted: recycle slot and run capacity.
+        s.run.clear();
+        shard.run_pool.push_back(std::move(s.run));
+        s.run = std::vector<TaskT>();
+        s.head = 0;
+        shard.segment_free.push_back(h.seg);
+      }
+    } else if (heap_has) {
       out = shard.pub_heap.pop();
-      shard.publish_pub_min();
     }
+    if (out) shard.publish_pub_min();
     shard.pub_lock.unlock();
     if (out) refresh_global_pub_min();
     return out;

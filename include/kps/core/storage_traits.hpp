@@ -39,6 +39,17 @@ struct StorageConfig {
   bool steal_half = true;             // work-stealing: half vs single task
 
   std::size_t multiqueue_factor = 2;  // multiqueue: queues per place (c)
+
+  // Hybrid batched publish (ablation A10): a publish flushes the private
+  // heap as pre-sorted runs of at most this many tasks, each ingested by
+  // the published shard's segment store in O(log S).  <= 1 selects the
+  // PR-1 behaviour (one heap push per flushed task).
+  int publish_batch = 64;
+
+  // Centralized: guide the pop scan (and push free-slot probe) by a
+  // 64-bit-per-word occupancy summary instead of loading every slot.
+  // Off = the PR-1 linear scan, kept as the ablation baseline.
+  bool occupancy_summary = true;
 };
 
 namespace detail {

@@ -4,6 +4,7 @@
 // the difference.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -39,6 +40,26 @@ class BinaryHeap {
     return out;
   }
 
+  /// Move the best min(max_count, size()) elements into `out`, appended in
+  /// ascending (best-first) order, and remove them from the heap.
+  ///
+  /// This is the batched-publish primitive: a full extraction drains the
+  /// array in one pass and sorts it — O(n log n) with sequential access —
+  /// which is what HybridKpq flushes into its published shard as a
+  /// pre-sorted run.  A partial extraction falls back to repeated pops.
+  void extract_sorted_segment(std::vector<T>& out,
+                              std::size_t max_count = kNoLimit) {
+    if (max_count >= a_.size()) {
+      const std::size_t base = out.size();
+      for (auto& v : a_) out.push_back(std::move(v));
+      a_.clear();
+      std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+                less_);
+      return;
+    }
+    for (std::size_t i = 0; i < max_count; ++i) out.push_back(pop());
+  }
+
   /// Move roughly the worse half of the elements into `out`.
   ///
   /// The trailing half of a heap array is parent-free: dropping a suffix
@@ -51,6 +72,8 @@ class BinaryHeap {
     }
     a_.resize(keep);
   }
+
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
 
  private:
   void sift_up(std::size_t i) {

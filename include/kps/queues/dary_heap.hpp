@@ -6,6 +6,7 @@
 // each level costs one move rather than three.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -82,6 +83,27 @@ class DaryHeap {
     }
     a_.resize(keep);
   }
+
+  /// Move the best min(max_count, size()) elements into `out`, appended in
+  /// ascending (best-first) order, and remove them from the heap.
+  ///
+  /// Full extraction (HybridKpq's publish flush) moves the array out and
+  /// sorts it — one sequential pass, no sift work; a partial extraction
+  /// falls back to repeated pops.
+  void extract_sorted_segment(std::vector<T>& out,
+                              std::size_t max_count = kNoLimit) {
+    if (max_count >= a_.size()) {
+      const std::size_t base = out.size();
+      for (auto& v : a_) out.push_back(std::move(v));
+      a_.clear();
+      std::sort(out.begin() + static_cast<std::ptrdiff_t>(base), out.end(),
+                less_);
+      return;
+    }
+    for (std::size_t i = 0; i < max_count; ++i) out.push_back(pop());
+  }
+
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
 
  private:
   std::vector<T> a_;

@@ -7,6 +7,7 @@
 // the stack.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <utility>
 #include <vector>
@@ -91,6 +92,20 @@ class PairingHeap {
     root_->child = kept;
     size_ -= moved;
   }
+
+  /// Move the best min(max_count, size()) elements into `out`, appended in
+  /// ascending (best-first) order, and remove them from the heap.
+  ///
+  /// Pairing heaps have no parent-free suffix to exploit, so this is
+  /// min(max_count, n) pops — amortized O(log n) each, nodes recycled
+  /// through the free-list.
+  void extract_sorted_segment(std::vector<T>& out,
+                              std::size_t max_count = kNoLimit) {
+    const std::size_t take = std::min(max_count, size_);
+    for (std::size_t i = 0; i < take; ++i) out.push_back(pop());
+  }
+
+  static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
 
  private:
   struct Node {

@@ -28,6 +28,9 @@ enum class Counter : std::size_t {
   stolen_items,        // work-stealing: tasks actually migrated
   push_cas_failures,   // centralized: slot CASes lost to a racing pusher
   pop_cas_failures,    // centralized: claim CASes lost to a racing popper
+  slot_loads,          // centralized: window slot pointers read by pop scans
+  summary_loads,       // centralized: occupancy summary words read by pops
+  segment_merges,      // hybrid: pre-sorted runs ingested by published shards
   kCount
 };
 

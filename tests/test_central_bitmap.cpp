@@ -1,0 +1,112 @@
+// Tier-1 (concurrency label, TSan'd in CI): the centralized window's
+// occupancy-summary bitmap must never lose a task.
+//
+// The bitmap is a hint (bit set ⊇ slot occupied at quiescence); its two
+// races — a pusher's set landing after a claimer's clear, and a scan
+// overlapping a claim — are exactly what this test hammers: P threads
+// push uniquely-tagged tasks and pop concurrently, then the main thread
+// drains, and the union of everything popped must be exactly the multiset
+// pushed (no loss, no duplication).  A lost task would also hang the SSSP
+// termination counter, so this is the structure-level version of that
+// guarantee.  Runs with the summary on and off, small and large windows
+// (small windows force overflow-heap traffic through the same scan).
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/centralized_kpq.hpp"
+#include "core/task_types.hpp"
+#include "support/rng.hpp"
+
+namespace {
+
+using namespace kps;
+using TestTask = Task<std::uint64_t, double>;
+
+void churn(bool occupancy_summary, int k, std::size_t threads,
+           std::uint64_t per_thread) {
+  StorageConfig cfg;
+  cfg.k_max = k;
+  cfg.default_k = k;
+  cfg.occupancy_summary = occupancy_summary;
+  StatsRegistry stats(threads);
+  CentralizedKpq<TestTask> storage(threads, cfg, &stats);
+
+  const std::uint64_t total = per_thread * threads;
+  std::vector<std::uint8_t> seen(total, 0);
+  std::vector<std::vector<std::uint64_t>> local(threads);
+
+  auto worker = [&](std::size_t t) {
+    auto& place = storage.place(t);
+    Xoshiro256 rng(t + 1);
+    local[t].reserve(per_thread);
+    for (std::uint64_t i = 0; i < per_thread; ++i) {
+      storage.push(place, k, {rng.next_unit(), t * per_thread + i});
+      // Pop roughly every other push so the window stays half-churned:
+      // claims, clears, heals, and overflow traffic all interleave.
+      if (i & 1) {
+        if (auto task = storage.pop(place)) {
+          local[t].push_back(task->payload);
+        }
+      }
+    }
+    // Keep popping until a sustained dry streak; whatever is left in the
+    // window/overflow afterwards is drained single-threaded below.
+    int dry = 0;
+    while (dry < 256) {
+      if (auto task = storage.pop(place)) {
+        local[t].push_back(task->payload);
+        dry = 0;
+      } else {
+        ++dry;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+  for (auto& th : pool) th.join();
+
+  // Single-threaded drain: every remaining task must still be visible —
+  // a stale-clear bit that hid a live task would fail the count below.
+  std::vector<std::uint64_t> rest;
+  while (auto task = storage.pop(storage.place(0))) {
+    rest.push_back(task->payload);
+  }
+
+  std::uint64_t got = 0;
+  auto record = [&](std::uint64_t payload) {
+    assert(payload < total);
+    assert(seen[payload] == 0 && "duplicated task");
+    seen[payload] = 1;
+    ++got;
+  };
+  for (auto& v : local) {
+    for (std::uint64_t payload : v) record(payload);
+  }
+  for (std::uint64_t payload : rest) record(payload);
+  if (got != total) {
+    std::fprintf(stderr,
+                 "summary=%d k=%d: pushed %llu, recovered %llu — lost "
+                 "task(s)\n",
+                 occupancy_summary ? 1 : 0, k,
+                 static_cast<unsigned long long>(total),
+                 static_cast<unsigned long long>(got));
+    assert(false);
+  }
+}
+
+}  // namespace
+
+int main() {
+  for (const bool summary : {true, false}) {
+    churn(summary, 64, 4, 20000);    // 1-word summary, heavy overflow
+    churn(summary, 1024, 4, 20000);  // 16 words
+    churn(summary, 4096, 2, 30000);  // sparse large-k regime (fig5 cliff)
+    churn(summary, 1, 2, 5000);      // degenerate 1-slot window
+  }
+  std::printf("test_central_bitmap: OK\n");
+  return 0;
+}

@@ -83,6 +83,45 @@ void check_extract_half(const char* name, std::size_t n, std::uint64_t seed,
 }
 
 template <typename Q>
+void check_extract_sorted_segment(const char* name, std::size_t n,
+                                  std::size_t max_count, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Q q;
+  std::vector<double> ref;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = rng.next_unit();
+    q.push(v);
+    ref.push_back(v);
+  }
+  std::sort(ref.begin(), ref.end());
+
+  // Appends after existing content, never clobbering it.
+  std::vector<double> seg = {-7.0};
+  q.extract_sorted_segment(seg, max_count);
+
+  const std::size_t taken = std::min(max_count, n);
+  assert(seg.size() == 1 + taken);
+  assert(seg[0] == -7.0);
+  assert(q.size() == n - taken);
+
+  // Ordering + ownership: the segment is exactly the best `taken`
+  // elements in ascending order, and the heap no longer owns them —
+  // its remaining pops are exactly the worse suffix, still sorted.
+  for (std::size_t i = 0; i < taken; ++i) {
+    if (seg[1 + i] != ref[i]) {
+      std::fprintf(stderr, "%s: segment[%zu] expected %.17g got %.17g\n",
+                   name, i, ref[i], seg[1 + i]);
+      assert(false);
+    }
+  }
+  for (std::size_t i = taken; i < n; ++i) {
+    assert(!q.empty());
+    assert(q.pop() == ref[i]);
+  }
+  assert(q.empty());
+}
+
+template <typename Q>
 void check_interleaved(std::size_t rounds, std::uint64_t seed) {
   // Dijkstra-like hot pattern: pop one, push two slightly larger.
   Xoshiro256 rng(seed);
@@ -117,6 +156,15 @@ int main() {
       check_extract_half<Binary>("binary", n, seed, true);
       check_extract_half<Dary4>("dary4", n, seed, true);
       check_extract_half<Pairing>("pairing", n, seed, false);
+
+      // Batched-publish primitive: full drain, partial, none, over-ask.
+      for (std::size_t m : {std::size_t{0}, std::size_t{1}, n / 2, n,
+                            n + 5, static_cast<std::size_t>(-1)}) {
+        check_extract_sorted_segment<Binary>("binary", n, m, seed);
+        check_extract_sorted_segment<Dary4>("dary4", n, m, seed);
+        check_extract_sorted_segment<Dary8>("dary8", n, m, seed);
+        check_extract_sorted_segment<Pairing>("pairing", n, m, seed);
+      }
     }
     check_interleaved<Binary>(5000, seed);
     check_interleaved<Dary4>(5000, seed);

@@ -91,6 +91,18 @@ int main() {
         linear.randomize_placement = false;
         check<CentralizedKpq<SsspTask>>("centralized/linear", g, truth, P, 64,
                                         graph_seed, linear);
+        StorageConfig no_summary;
+        no_summary.occupancy_summary = false;
+        check<CentralizedKpq<SsspTask>>("centralized/nosummary", g, truth, P,
+                                        64, graph_seed, no_summary);
+        // Batched publish (A10): per-task, mid, and larger-than-k batches
+        // must all be invisible to correctness.
+        for (int batch : {1, 16, 256}) {
+          StorageConfig bcfg;
+          bcfg.publish_batch = batch;
+          check<HybridKpq<SsspTask>>("hybrid/batch", g, truth, P, 64,
+                                     graph_seed, bcfg);
+        }
         StorageConfig steal_one;
         steal_one.steal_half = false;
         check<WsPriorityPool<SsspTask>>("ws_priority/steal1", g, truth, P, 64,

@@ -23,10 +23,10 @@ using namespace kps::bench;
 
 template <typename Storage>
 SsspAggregate measure(const std::vector<Graph>& graphs, std::size_t P,
-                      int k) {
+                      int k, StorageConfig extra = {}) {
   SsspAggregate agg;
   for (std::size_t g = 0; g < graphs.size(); ++g) {
-    run_sssp<Storage>(graphs[g], P, k, 100 * g + 1, agg);
+    run_sssp<Storage>(graphs[g], P, k, 100 * g + 1, agg, extra);
   }
   return agg;
 }
@@ -75,6 +75,15 @@ int main(int argc, char** argv) {
   const auto multiq = measure<MultiQueuePool<SsspTask>>(graphs, P, k);
   const auto ws_prio = measure<WsPriorityPool<SsspTask>>(graphs, P, k);
   const auto ws_deque = measure<WsDequePool<SsspTask>>(graphs, P, k);
+  // PR-2 ablation rows: the two new hot-path mechanisms, toggled off, so
+  // the per-PR trajectory records both sides of each change.
+  StorageConfig batch1;
+  batch1.publish_batch = 1;
+  const auto hybrid_b1 = measure<HybridKpq<SsspTask>>(graphs, P, k, batch1);
+  StorageConfig linear_scan;
+  linear_scan.occupancy_summary = false;
+  const auto central_linear =
+      measure<CentralizedKpq<SsspTask>>(graphs, P, k, linear_scan);
 
   std::printf("{\n");
   std::printf("  \"workload\": {\"n\": %llu, \"p\": %.2f, \"graphs\": %llu, "
@@ -87,7 +96,9 @@ int main(int argc, char** argv) {
   emit("sequential_dijkstra", seq, false);
   emit("global_pq", global_pq, false);
   emit("centralized_kpq", central, false);
+  emit("centralized_kpq_linear_scan", central_linear, false);
   emit("hybrid_kpq", hybrid, false);
+  emit("hybrid_kpq_batch1", hybrid_b1, false);
   emit("multiqueue", multiq, false);
   emit("ws_priority", ws_prio, false);
   emit("ws_deque", ws_deque, true);
