@@ -36,7 +36,9 @@ namespace kps::bench {
 /// Each bench passes the exact flags it reads, so `fig4_scaling --tasks
 /// 100` is rejected rather than silently running with defaults.  The
 /// pseudo-flag "paper" is boolean (takes no value); everything else
-/// expects one.  kWorkloadFlags covers what workload_from_args() reads.
+/// expects one.  Values may be space-separated (`--workload des`) or
+/// attached (`--workload=des`) — string-valued flags are read through
+/// value_s().  kWorkloadFlags covers what workload_from_args() reads.
 class Args {
  public:
   static constexpr const char* kWorkloadFlags[] = {"paper", "n", "p",
@@ -45,7 +47,7 @@ class Args {
   Args(int argc, char** argv, std::vector<std::string> accepted) {
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
     std::string err;
-    if (!check(args_, accepted, &err)) {
+    if (!split_attached(&args_, &err) || !check(args_, accepted, &err)) {
       std::fprintf(stderr, "error: %s\n", err.c_str());
       std::exit(2);
     }
@@ -63,8 +65,38 @@ class Args {
     return accepted;
   }
 
+  /// Rewrite `--name=value` tokens into the canonical `--name value`
+  /// pair (fail-fast on an empty name or value — `--=x` and
+  /// `--workload=` are operator typos, not requests for defaults).
+  static bool split_attached(std::vector<std::string>* args,
+                             std::string* err) {
+    std::vector<std::string> out;
+    out.reserve(args->size());
+    for (const std::string& tok : *args) {
+      const std::string::size_type eq = tok.find('=');
+      if (tok.rfind("--", 0) != 0 || eq == std::string::npos) {
+        out.push_back(tok);
+        continue;
+      }
+      if (eq == 2) {
+        *err = "malformed flag '" + tok + "' (empty flag name)";
+        return false;
+      }
+      if (eq + 1 == tok.size()) {
+        *err = "flag '" + tok.substr(0, eq) + "' expects a value after '='";
+        return false;
+      }
+      out.push_back(tok.substr(0, eq));
+      out.push_back(tok.substr(eq + 1));
+    }
+    *args = std::move(out);
+    return true;
+  }
+
   /// Validation only (separated from the constructor so tests can probe
-  /// rejection paths without exiting the process).
+  /// rejection paths without exiting the process).  Callers validating
+  /// raw command lines apply split_attached() first — the constructor
+  /// does.
   static bool check(const std::vector<std::string>& args,
                     const std::vector<std::string>& accepted,
                     std::string* err) {
@@ -137,6 +169,16 @@ class Args {
         }
         return v;
       }
+    }
+    return def;
+  }
+
+  /// String-valued flag (e.g. --workload=des); arbitrary non-empty
+  /// token.  Enum-like validation stays with the caller, which knows
+  /// the legal set and can fail fast with its own diagnostic.
+  std::string value_s(const std::string& name, std::string def) const {
+    for (std::size_t i = 0; i + 1 < args_.size(); ++i) {
+      if (args_[i] == "--" + name) return args_[i + 1];
     }
     return def;
   }

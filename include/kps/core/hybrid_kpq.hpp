@@ -104,7 +104,8 @@ class HybridKpq {
     std::vector<std::vector<TaskT>> run_pool;  // recycled run capacity
     std::atomic<double> pub_min{kEmptyMin};
 
-    std::vector<TaskT> flush_buf;  // reused publish buffer
+    std::vector<TaskT> flush_buf;    // reused publish buffer
+    std::vector<SegHead> spill_buf;  // reused segment-spill scratch
 
     void publish_private_min() {
       private_min.store(private_heap.empty()
@@ -197,6 +198,7 @@ class HybridKpq {
     } else {
       for (TaskT& t : p.flush_buf) p.pub_heap.push(t);
     }
+    maybe_spill_segments(p);
     p.publish_pub_min();
     p.pub_lock.unlock();
     refresh_global_pub_min();
@@ -340,6 +342,41 @@ class HybridKpq {
       shard.run_pool.pop_back();
     }
     commit_segment(shard, slot);
+  }
+
+  /// Segment-spill policy (ROADMAP item; counter: segment_spills): very
+  /// small k floods a shard with short runs faster than pops retire
+  /// them, and every live segment adds a seg_index entry that publishes
+  /// and pops must sift past.  Once the live-segment count exceeds
+  /// cfg_.max_segments, keep only the hottest half (smallest head
+  /// priorities) as streaming segments and fold every colder segment's
+  /// remaining tasks into the shard heap, recycling its slot and run
+  /// capacity.  Tasks only move between containers of the same shard
+  /// under pub_lock, so relaxation bounds and the shard minimum are
+  /// untouched.  Requires shard.pub_lock; caller refreshes the minima.
+  void maybe_spill_segments(Place& shard) {
+    if (cfg_.max_segments <= 0) return;
+    const auto limit = static_cast<std::size_t>(cfg_.max_segments);
+    if (shard.seg_index.size() <= limit) return;
+    auto& heads = shard.spill_buf;
+    heads.clear();
+    while (!shard.seg_index.empty()) {
+      heads.push_back(shard.seg_index.pop());  // ascending head priority
+    }
+    const std::size_t keep = std::max<std::size_t>(limit / 2, 1);
+    for (std::size_t i = 0; i < keep; ++i) shard.seg_index.push(heads[i]);
+    for (std::size_t i = keep; i < heads.size(); ++i) {
+      Segment& s = shard.segments[heads[i].seg];
+      for (std::size_t j = s.head; j < s.run.size(); ++j) {
+        shard.pub_heap.push(std::move(s.run[j]));
+      }
+      s.run.clear();
+      shard.run_pool.push_back(std::move(s.run));
+      s.run = std::vector<TaskT>();
+      s.head = 0;
+      shard.segment_free.push_back(heads[i].seg);
+    }
+    shard.counters->inc(Counter::segment_spills);
   }
 
   std::optional<TaskT> try_pop_published(Place& shard) {

@@ -50,6 +50,14 @@ struct StorageConfig {
   // 64-bit-per-word occupancy summary instead of loading every slot.
   // Off = the PR-1 linear scan, kept as the ablation baseline.
   bool occupancy_summary = true;
+
+  // Hybrid: cap on live sorted segments per published shard.  Small k
+  // with a large task flood publishes many short runs faster than pops
+  // drain them; once a shard holds more than this many live segments,
+  // the cold (worst-priority) half is folded into the shard heap and
+  // the slots recycled, so per-pop segment-index work stays bounded.
+  // <= 0 disables spilling (the PR-2 unbounded-accumulation behaviour).
+  int max_segments = 64;
 };
 
 namespace detail {

@@ -1,38 +1,37 @@
 // Storage-parameterized parallel SSSP — the workload behind Figures 4/5
-// and the ablations.
+// and the ablations.  Since PR 3 this is a thin adapter over the generic
+// relaxed-priority runner (workloads/runner.hpp): the expand function
+// below owns only the relaxation rule, while the runner owns threads,
+// termination, and per-place expanded/wasted accounting.
 //
 // Label-correcting relaxation: tentative distances live in an array of
 // atomics updated by CAS-min, every successful improvement spawns a task,
 // stale tasks are dropped at pop time.  The final distances are exact for
 // ANY pop order the storage produces — relaxation only costs wasted
 // re-relaxations, which is precisely the quantity the figures measure.
-//
-// Termination: a pending-task counter (tasks in the storage plus tasks
-// being processed).  A worker's decrement happens only after it pushed
-// all children, so the counter can never transiently hit zero while work
-// is still reachable; pop() is therefore allowed to be weakly complete.
 #pragma once
 
 #include <atomic>
-#include <chrono>
 #include <cstdint>
 #include <limits>
-#include <thread>
 #include <vector>
 
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "graph/generators.hpp"
 #include "support/stats.hpp"
+#include "workloads/runner.hpp"
 
 namespace kps {
 
 struct SsspResult {
   double seconds = 0;
   std::uint64_t nodes_relaxed = 0;  // non-stale task expansions
+  std::uint64_t tasks_wasted = 0;   // stale pops (re-expansion overhead)
   std::uint64_t tasks_spawned = 0;  // pushes into the storage
   PlaceStats totals;                // summed per-place storage counters
   std::vector<double> dist;
+  std::uint64_t grain_sink = 0;     // keeps the A9 spin work observable
 };
 
 namespace detail {
@@ -67,76 +66,44 @@ SsspResult parallel_sssp(const Graph& g, Graph::node_t src, Storage& storage,
 
   SsspResult result;
   if (src >= n) return result;
-
-  std::atomic<std::int64_t> pending{1};
-  std::atomic<std::uint64_t> relaxed_total{0};
-  std::atomic<std::uint64_t> grain_sink{0};
-
   dist[src].store(0.0, std::memory_order_relaxed);
-  storage.push(storage.place(0), k, {0.0, src});
 
-  auto worker = [&](std::size_t place_idx) {
-    auto& place = storage.place(place_idx);
-    std::uint64_t local_relaxed = 0;
-    std::uint64_t sink = 0;
-    int idle_spins = 0;
+  struct alignas(kCacheLine) Sink {
+    std::uint64_t v = 0;
+  };
+  std::vector<Sink> sinks(P);
 
-    while (true) {
-      auto task = storage.pop(place);
-      if (!task) {
-        if (pending.load(std::memory_order_acquire) == 0) break;
-        if (++idle_spins > 64) {
-          std::this_thread::yield();
-          idle_spins = 0;
-        }
-        continue;
-      }
-      idle_spins = 0;
-
-      const Graph::node_t v = task->payload;
-      const double d = task->priority;
-      if (d <= dist[v].load(std::memory_order_relaxed)) {
-        ++local_relaxed;
-        if (grain) sink += detail::spin_work(v, grain);
-        const std::uint64_t end = g.offsets[v + 1];
-        for (std::uint64_t e = g.offsets[v]; e < end; ++e) {
-          const Graph::node_t u = g.targets[e];
-          const double nd = d + g.weights[e];
-          double cur = dist[u].load(std::memory_order_relaxed);
-          while (nd < cur) {
-            if (dist[u].compare_exchange_weak(cur, nd,
-                                              std::memory_order_relaxed)) {
-              pending.fetch_add(1, std::memory_order_relaxed);
-              storage.push(place, k, {nd, u});
-              break;
-            }
-          }
+  auto expand = [&](RunnerHandle<Storage>& handle,
+                    const SsspTask& task) -> bool {
+    const Graph::node_t v = task.payload;
+    const double d = task.priority;
+    if (d > dist[v].load(std::memory_order_relaxed)) return false;  // stale
+    if (grain) sinks[handle.place_index()].v += detail::spin_work(v, grain);
+    const std::uint64_t end = g.offsets[v + 1];
+    for (std::uint64_t e = g.offsets[v]; e < end; ++e) {
+      const Graph::node_t u = g.targets[e];
+      const double nd = d + g.weights[e];
+      double cur = dist[u].load(std::memory_order_relaxed);
+      while (nd < cur) {
+        if (dist[u].compare_exchange_weak(cur, nd,
+                                          std::memory_order_relaxed)) {
+          handle.spawn({nd, u});
+          break;
         }
       }
-      // Children are pushed; only now may this task stop holding the
-      // counter above zero.
-      pending.fetch_sub(1, std::memory_order_acq_rel);
     }
-
-    relaxed_total.fetch_add(local_relaxed, std::memory_order_relaxed);
-    grain_sink.fetch_add(sink, std::memory_order_relaxed);
+    return true;
   };
 
-  const auto t0 = std::chrono::steady_clock::now();
-  if (P == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> threads;
-    threads.reserve(P);
-    for (std::size_t p = 0; p < P; ++p) threads.emplace_back(worker, p);
-    for (auto& t : threads) t.join();
-  }
-  const auto t1 = std::chrono::steady_clock::now();
+  const RunnerResult r =
+      run_relaxed(storage, k, {SsspTask{0.0, src}}, expand, stats);
 
-  result.seconds = std::chrono::duration<double>(t1 - t0).count();
-  result.nodes_relaxed = relaxed_total.load(std::memory_order_relaxed);
-  result.totals = stats ? stats->total() : PlaceStats{};
-  result.tasks_spawned = result.totals.get(Counter::tasks_spawned);
+  result.seconds = r.seconds;
+  result.nodes_relaxed = r.expanded;
+  result.tasks_wasted = r.wasted;
+  result.totals = r.totals;
+  result.tasks_spawned = r.tasks_spawned;
+  for (const Sink& s : sinks) result.grain_sink += s.v;
   result.dist.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     result.dist[i] = dist[i].load(std::memory_order_relaxed);

@@ -31,6 +31,7 @@ enum class Counter : std::size_t {
   slot_loads,          // centralized: window slot pointers read by pop scans
   summary_loads,       // centralized: occupancy summary words read by pops
   segment_merges,      // hybrid: pre-sorted runs ingested by published shards
+  segment_spills,      // hybrid: cold-segment folds into the shard heap
   kCount
 };
 

@@ -1,0 +1,200 @@
+// Branch-and-bound workload (ablation A12): best-first 0/1 knapsack.
+//
+// Search tree: node = (level, weight used, profit collected) after
+// deciding items [0, level).  The scheduling priority is the node's
+// Dantzig upper bound (negated — the storages are min-ordered), so an
+// exact scheduler explores in best-first order; a ρ-relaxed one expands
+// bound-dominated nodes it could have pruned, which shows up directly in
+// the wasted-expansion counter — relaxation costs work, never the
+// optimum:
+//
+//   * the incumbent (best feasible profit seen) only grows, via CAS-max,
+//     and every node's collected profit is itself feasible, so the
+//     incumbent is folded in at SPAWN time — bounds propagate at memory
+//     speed, not at pop speed;
+//   * a node is pruned (at spawn and again at pop) only when its upper
+//     bound cannot strictly beat the incumbent.  The bound is admissible
+//     (integer ceil of the fractional relaxation), so along an optimal
+//     decision path ub >= OPT > incumbent holds until the incumbent IS
+//     the optimum — some optimal-path node always survives, under any
+//     pop order.  Final incumbent == DP optimum, which is what the
+//     sequential oracle checks.
+//
+// All arithmetic is integral (profits, weights, ceil-divided fractional
+// bound), so there is no floating-point admissibility gap to reason
+// about; the double task priority stores the exact integer bound
+// (bounds are far below 2^53).
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/storage_traits.hpp"
+#include "core/task_types.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+#include "workloads/runner.hpp"
+
+namespace kps {
+
+struct KnapsackInstance {
+  std::vector<std::uint32_t> weight;  // sorted by profit/weight desc
+  std::vector<std::uint32_t> profit;
+  std::uint64_t capacity = 0;
+
+  std::size_t items() const { return weight.size(); }
+};
+
+/// Seeded weakly-correlated instance (profit ≈ weight + noise), the
+/// classic regime where plain greedy fails and pruning actually works.
+inline KnapsackInstance knapsack_instance(std::size_t n,
+                                          std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0x9e3779b9ull + 7);
+  KnapsackInstance inst;
+  inst.weight.resize(n);
+  inst.profit.resize(n);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.weight[i] = 20 + static_cast<std::uint32_t>(rng.next_bounded(41));
+    inst.profit[i] =
+        inst.weight[i] + 1 + static_cast<std::uint32_t>(rng.next_bounded(30));
+    total += inst.weight[i];
+  }
+  inst.capacity = total / 2;
+  // Ratio-descending order (exact cross-multiplied compare) — the Dantzig
+  // bound below requires it.
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return static_cast<std::uint64_t>(inst.profit[a]) * inst.weight[b] >
+           static_cast<std::uint64_t>(inst.profit[b]) * inst.weight[a];
+  });
+  KnapsackInstance sorted;
+  sorted.capacity = inst.capacity;
+  sorted.weight.reserve(n);
+  sorted.profit.reserve(n);
+  for (std::size_t i : idx) {
+    sorted.weight.push_back(inst.weight[i]);
+    sorted.profit.push_back(inst.profit[i]);
+  }
+  return sorted;
+}
+
+/// Sequential oracle: textbook O(n · capacity) dynamic program — a
+/// different algorithm entirely, so a search bug cannot cancel out.
+inline std::uint64_t knapsack_dp(const KnapsackInstance& inst) {
+  std::vector<std::uint64_t> best(inst.capacity + 1, 0);
+  for (std::size_t i = 0; i < inst.items(); ++i) {
+    const std::uint32_t w = inst.weight[i];
+    const std::uint64_t p = inst.profit[i];
+    for (std::uint64_t c = inst.capacity; c >= w; --c) {
+      best[c] = std::max(best[c], best[c - w] + p);
+    }
+  }
+  return best[inst.capacity];
+}
+
+/// Admissible integer Dantzig bound for the subtree below (level,
+/// weight, profit): greedy-fill remaining items by ratio, the broken
+/// item contributing a CEIL-divided fraction (>= the true fractional
+/// optimum, so never under the best completion).
+inline std::uint64_t knapsack_bound(const KnapsackInstance& inst,
+                                    std::uint32_t level,
+                                    std::uint64_t weight,
+                                    std::uint64_t profit) {
+  std::uint64_t cap_left = inst.capacity - weight;
+  std::uint64_t ub = profit;
+  for (std::size_t i = level; i < inst.items(); ++i) {
+    if (inst.weight[i] <= cap_left) {
+      cap_left -= inst.weight[i];
+      ub += inst.profit[i];
+    } else {
+      ub += (static_cast<std::uint64_t>(inst.profit[i]) * cap_left +
+             inst.weight[i] - 1) /
+            inst.weight[i];
+      break;
+    }
+  }
+  return ub;
+}
+
+struct BnbNode {
+  std::uint32_t level = 0;
+  std::uint32_t weight = 0;
+  std::uint32_t profit = 0;
+};
+/// Priority = -upper_bound: the storages are min-ordered, best-first
+/// wants the largest bound out first.
+using BnbTask = Task<BnbNode, double>;
+
+struct BnbRun {
+  std::uint64_t best_profit = 0;  // must equal knapsack_dp()
+  std::uint64_t expanded = 0;     // branched nodes
+  std::uint64_t pruned = 0;       // popped with ub <= incumbent (wasted)
+  RunnerResult runner;
+};
+
+namespace detail {
+
+inline void cas_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  std::uint64_t cur = target.load(std::memory_order_relaxed);
+  while (cur < v && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace detail
+
+template <typename Storage>
+BnbRun bnb_parallel(const KnapsackInstance& inst, Storage& storage, int k,
+                    StatsRegistry* stats = nullptr) {
+  static_assert(std::is_same_v<typename Storage::task_type, BnbTask>);
+  const auto n = static_cast<std::uint32_t>(inst.items());
+  std::atomic<std::uint64_t> incumbent{0};
+
+  auto spawn_child = [&](RunnerHandle<Storage>& handle, BnbNode child) {
+    detail::cas_max(incumbent, child.profit);
+    if (child.level >= n) return;  // leaf: its value is already folded in
+    const std::uint64_t ub =
+        knapsack_bound(inst, child.level, child.weight, child.profit);
+    if (ub > incumbent.load(std::memory_order_relaxed)) {
+      handle.spawn({-static_cast<double>(ub), child});
+    }
+  };
+
+  auto expand = [&](RunnerHandle<Storage>& handle,
+                    const BnbTask& task) -> bool {
+    const BnbNode node = task.payload;
+    const auto ub = static_cast<std::uint64_t>(-task.priority);
+    // Re-check at pop: the incumbent may have overtaken this node's
+    // bound while it sat in the storage — a relaxed pop order surfaces
+    // such dominated nodes more often (the A12 wasted column).
+    if (ub <= incumbent.load(std::memory_order_relaxed)) return false;
+    // Include item `level` (if it fits), then exclude it.
+    if (node.weight + inst.weight[node.level] <= inst.capacity) {
+      spawn_child(handle,
+                  {node.level + 1,
+                   node.weight + inst.weight[node.level],
+                   node.profit + inst.profit[node.level]});
+    }
+    spawn_child(handle, {node.level + 1, node.weight, node.profit});
+    return true;
+  };
+
+  BnbRun run;
+  if (n == 0) return run;
+  const std::uint64_t root_ub = knapsack_bound(inst, 0, 0, 0);
+  run.runner = run_relaxed(
+      storage, k,
+      {BnbTask{-static_cast<double>(root_ub), BnbNode{0, 0, 0}}}, expand,
+      stats);
+  run.best_profit = incumbent.load(std::memory_order_relaxed);
+  run.expanded = run.runner.expanded;
+  run.pruned = run.runner.wasted;
+  return run;
+}
+
+}  // namespace kps

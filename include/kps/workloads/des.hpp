@@ -1,0 +1,258 @@
+// Discrete-event simulation workload (ablation A11): a PHOLD-style
+// queueing network where event timestamps are the scheduling priorities.
+//
+// Model: a fixed population of `chains` jobs circulating through
+// `stations` infinite-server stations (M/G/inf semantics — a job seizes
+// its own server, so departure = arrival + service with no queueing
+// delay).  Every transition is a pure function of (seed, chain, step):
+// the station visited, the service draw, and therefore every timestamp
+// of every event are determined by the event's own identity, never by
+// the interleaving.  Station-level state updates (visit counts, the
+// event-set checksum) are commutative, so the final simulation outcome
+// is EXACTLY the sequential one under any pop order — ρ-relaxation costs
+// only schedule quality, which is what the workload measures:
+//
+//   * causality window: conservative PDES tolerates processing an event
+//     only within `window` of global virtual time.  A pop whose
+//     timestamp runs ahead of min-live-time + window is NOT processed;
+//     it is lazily re-enqueued (spawned back with the same timestamp and
+//     a bumped defer count) and tallied as wasted work.  Relaxed
+//     storages with large effective ρ pop far-future events more often
+//     and pay more deferrals — the A11 panel.
+//   * the lazy re-enqueue is budgeted (`max_defer`): after that many
+//     deferrals the event is processed anyway.  The budget keeps the
+//     rule live-lock-free on storages that would hand the same event
+//     straight back (a LIFO pool at P = 1), and since the M/G/inf state
+//     is commutative, processing early never perturbs the result — the
+//     window is fidelity/throughput shaping, not a correctness fence.
+//
+// Global virtual time is lower-bounded by min over chain_time[]: each
+// chain has exactly one live event at any moment (fixed population), and
+// its entry is updated only by the worker holding that event.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/storage_traits.hpp"
+#include "core/task_types.hpp"
+#include "queues/dary_heap.hpp"
+#include "support/stats.hpp"
+#include "workloads/runner.hpp"
+
+namespace kps {
+
+struct DesParams {
+  std::uint32_t stations = 64;
+  std::uint32_t chains = 256;    // fixed event population
+  double horizon = 50.0;         // no successor beyond this virtual time
+  double lookahead = 0.5;        // minimum service time
+  double service_range = 2.0;    // service ~ lookahead + U(0,1]*range
+  double window = 8.0;           // causality window; < 0 disables the rule
+  std::uint32_t max_defer = 8;   // lazy re-enqueue budget per event
+  std::uint64_t seed = 1;
+};
+
+struct DesEvent {
+  std::uint32_t chain = 0;
+  std::uint32_t step = 0;
+  std::uint32_t defers = 0;
+};
+/// Priority = the event's virtual timestamp.
+using DesTask = Task<DesEvent, double>;
+
+/// The order-independent simulation outcome (compared against the
+/// sequential oracle).  Deferral counts are schedule-dependent and live
+/// in DesRun, not here.
+struct DesOutcome {
+  std::uint64_t events = 0;    // committed event count
+  std::uint64_t checksum = 0;  // commutative hash over (chain, step, t)
+  std::vector<std::uint64_t> station_counts;
+
+  bool operator==(const DesOutcome&) const = default;
+};
+
+struct DesRun {
+  DesOutcome outcome;
+  std::uint64_t deferred = 0;    // lazy re-enqueues (wasted pops)
+  std::uint64_t inversions = 0;  // committed events behind the committed
+                                 // high-water timestamp (approximate
+                                 // under commit races) — the A11
+                                 // schedule-quality probe
+  RunnerResult runner;
+};
+
+namespace detail {
+
+inline std::uint64_t mix64(std::uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+inline std::uint64_t des_bits(const DesParams& p, std::uint32_t chain,
+                              std::uint64_t step) {
+  return mix64(p.seed ^ (std::uint64_t{chain} * 0x9e3779b97f4a7c15ull) ^
+               (step * 0xd1b54a32d192ed03ull));
+}
+
+/// Commutative event fingerprint; summed mod 2^64 in any order.
+inline std::uint64_t des_fingerprint(std::uint32_t chain, std::uint32_t step,
+                                     double t) {
+  return mix64((std::uint64_t{chain} << 32 | step) ^
+               std::bit_cast<std::uint64_t>(t));
+}
+
+}  // namespace detail
+
+struct DesTransition {
+  std::uint32_t station;
+  double depart;
+};
+
+/// The (deterministic) effect of processing event (chain, step) that
+/// arrives at time t — shared verbatim by the oracle and the parallel
+/// runner so every double is computed by the same expression.
+inline DesTransition des_transition(const DesParams& p, std::uint32_t chain,
+                                    std::uint32_t step, double t) {
+  const std::uint64_t bits = detail::des_bits(p, chain, step);
+  const std::uint32_t station =
+      static_cast<std::uint32_t>(bits % std::max<std::uint32_t>(p.stations, 1));
+  const double u =
+      static_cast<double>((bits >> 11) + 1) * 0x1.0p-53;  // (0, 1]
+  return {station, t + p.lookahead + u * p.service_range};
+}
+
+/// Chain c's first event arrives staggered inside one lookahead.
+inline double des_initial_time(const DesParams& p, std::uint32_t chain) {
+  const std::uint64_t bits =
+      detail::des_bits(p, chain, 0xde5'0000'0000ull | chain);
+  return p.lookahead *
+         (static_cast<double>((bits >> 11) + 1) * 0x1.0p-53);
+}
+
+/// Sequential oracle: strict timestamp order via a plain binary d-ary
+/// heap.  By construction (commutative state, per-chain-deterministic
+/// event content) any relaxed execution must reproduce this outcome.
+inline DesOutcome des_sequential(const DesParams& p) {
+  DesOutcome out;
+  // des_transition clamps `stations` at 1, so the counts must too —
+  // a --stations 0 operator input must not become an OOB write.
+  out.station_counts.assign(std::max<std::uint32_t>(p.stations, 1), 0);
+  DaryHeap<DesTask, TaskLess, 4> heap;
+  for (std::uint32_t c = 0; c < p.chains; ++c) {
+    heap.push({des_initial_time(p, c), {c, 0, 0}});
+  }
+  while (!heap.empty()) {
+    const DesTask task = heap.pop();
+    const DesEvent ev = task.payload;
+    const DesTransition tr =
+        des_transition(p, ev.chain, ev.step, task.priority);
+    ++out.events;
+    ++out.station_counts[tr.station];
+    out.checksum +=
+        detail::des_fingerprint(ev.chain, ev.step, task.priority);
+    if (tr.depart <= p.horizon) {
+      heap.push({tr.depart, {ev.chain, ev.step + 1, 0}});
+    }
+  }
+  return out;
+}
+
+template <typename Storage, typename PopHook = NoPopHook>
+DesRun des_parallel(const DesParams& p, Storage& storage, int k,
+                    StatsRegistry* stats = nullptr, PopHook&& hook = {}) {
+  static_assert(std::is_same_v<typename Storage::task_type, DesTask>);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  std::vector<std::atomic<std::uint64_t>> counts(
+      std::max<std::uint32_t>(p.stations, 1));
+  for (auto& c : counts) c.store(0, std::memory_order_relaxed);
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<std::uint64_t> deferred{0};
+  std::atomic<std::uint64_t> inversions{0};
+  std::atomic<double> committed_high{-kInf};
+
+  // chain_time[c] = timestamp of chain c's single live event (+inf once
+  // the chain passed the horizon); min over it bounds global virtual
+  // time from below.  Each entry is written only by the worker holding
+  // that chain's event.
+  std::vector<std::atomic<double>> chain_time(p.chains);
+  std::vector<DesTask> seeds;
+  seeds.reserve(p.chains);
+  for (std::uint32_t c = 0; c < p.chains; ++c) {
+    const double t0 = des_initial_time(p, c);
+    chain_time[c].store(t0, std::memory_order_relaxed);
+    seeds.push_back({t0, {c, 0, 0}});
+  }
+
+  auto expand = [&](RunnerHandle<Storage>& handle,
+                    const DesTask& task) -> bool {
+    const DesEvent ev = task.payload;
+    const double t = task.priority;
+
+    if (p.window >= 0 && ev.defers < p.max_defer) {
+      double floor = kInf;
+      for (const auto& ct : chain_time) {
+        const double v = ct.load(std::memory_order_relaxed);
+        if (v < floor) floor = v;
+      }
+      if (t > floor + p.window) {
+        // Causality-window violation: lazy re-enqueue, same timestamp,
+        // one more defer spent.
+        deferred.fetch_add(1, std::memory_order_relaxed);
+        handle.spawn({t, {ev.chain, ev.step, ev.defers + 1}});
+        return false;
+      }
+    }
+
+    // Committed-event inversion probe: only events that actually commit
+    // move the high-water mark — a deferred far-future pop must not
+    // count later in-window commits as inversions against it.
+    double hw = committed_high.load(std::memory_order_relaxed);
+    if (t < hw) {
+      inversions.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      while (t > hw && !committed_high.compare_exchange_weak(
+                           hw, t, std::memory_order_relaxed)) {
+      }
+    }
+
+    const DesTransition tr = des_transition(p, ev.chain, ev.step, t);
+    counts[tr.station].fetch_add(1, std::memory_order_relaxed);
+    checksum.fetch_add(detail::des_fingerprint(ev.chain, ev.step, t),
+                       std::memory_order_relaxed);
+    events.fetch_add(1, std::memory_order_relaxed);
+    if (tr.depart <= p.horizon) {
+      chain_time[ev.chain].store(tr.depart, std::memory_order_relaxed);
+      handle.spawn({tr.depart, {ev.chain, ev.step + 1, 0}});
+    } else {
+      chain_time[ev.chain].store(kInf, std::memory_order_relaxed);
+    }
+    return true;
+  };
+
+  DesRun run;
+  run.runner = run_relaxed(storage, k, seeds, expand, stats,
+                           std::forward<PopHook>(hook));
+  run.deferred = deferred.load(std::memory_order_relaxed);
+  run.inversions = inversions.load(std::memory_order_relaxed);
+  run.outcome.events = events.load(std::memory_order_relaxed);
+  run.outcome.checksum = checksum.load(std::memory_order_relaxed);
+  run.outcome.station_counts.resize(counts.size());
+  for (std::size_t s = 0; s < counts.size(); ++s) {
+    run.outcome.station_counts[s] =
+        counts[s].load(std::memory_order_relaxed);
+  }
+  return run;
+}
+
+}  // namespace kps

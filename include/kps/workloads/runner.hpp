@@ -1,0 +1,166 @@
+// Generic relaxed-priority runner — the execution engine every workload
+// (SSSP, DES, branch-and-bound, A*) shares, factored out of the original
+// graph/sssp.hpp loop.
+//
+// The contract mirrors what made parallel SSSP exact under ANY pop order:
+//
+//   * the workload's expand function must be order-insensitive — a popped
+//     task may be useful (expanded) or useless (stale / pruned /
+//     deferred), and executing useless tasks costs only wasted work,
+//     never correctness;
+//   * termination is owned here, by a pending-task counter (tasks in the
+//     storage plus tasks being processed).  A worker's decrement happens
+//     only after expand() returned — i.e. after every child was spawned —
+//     so the counter can never transiently hit zero while work is still
+//     reachable, and storage pop() is therefore allowed to be weakly
+//     complete (transient nullopt while another place holds tasks).
+//
+// expand(handle, task) -> bool runs concurrently on every place; `true`
+// means the pop did useful work, `false` means it was wasted (the runner
+// keeps per-place tallies of both — the relaxation-quality panels).  New
+// tasks are spawned through handle.spawn(task), which bumps the pending
+// counter before pushing.  An optional pop hook observes every claimed
+// task before expansion (rank-error / timestamp-inversion probes) without
+// the workloads having to thread measurement through their expand logic.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/storage_traits.hpp"
+#include "support/stats.hpp"
+
+namespace kps {
+
+struct RunnerResult {
+  double seconds = 0;
+  std::uint64_t expanded = 0;      // pops whose expand() returned true
+  std::uint64_t wasted = 0;        // pops whose expand() returned false
+  std::uint64_t tasks_spawned = 0; // pushes into the storage (from totals)
+  PlaceStats totals;               // summed per-place storage counters
+  std::vector<std::uint64_t> expanded_by_place;
+  std::vector<std::uint64_t> wasted_by_place;
+};
+
+/// Per-worker view handed to expand(): the only way a workload spawns
+/// child tasks, so the pending-counter protocol cannot be bypassed.
+template <typename Storage>
+class RunnerHandle {
+ public:
+  using task_type = typename Storage::task_type;
+
+  RunnerHandle(Storage& storage, typename Storage::Place& place, int k,
+               std::atomic<std::int64_t>& pending)
+      : storage_(&storage), place_(&place), k_(k), pending_(&pending) {}
+
+  std::size_t place_index() const { return place_->index; }
+
+  /// Publish a child task.  The pending increment precedes the push: a
+  /// sibling popping the child immediately still sees pending > 0.
+  void spawn(task_type task) {
+    pending_->fetch_add(1, std::memory_order_relaxed);
+    storage_->push(*place_, k_, task);
+  }
+
+ private:
+  Storage* storage_;
+  typename Storage::Place* place_;
+  int k_;
+  std::atomic<std::int64_t>* pending_;
+};
+
+/// Default pop hook: observe nothing.
+struct NoPopHook {
+  template <typename TaskT>
+  void operator()(std::size_t /*place*/, const TaskT& /*task*/) const {}
+};
+
+template <typename Storage, typename ExpandFn, typename PopHook = NoPopHook>
+RunnerResult run_relaxed(Storage& storage, int k,
+                         const std::vector<typename Storage::task_type>& seeds,
+                         ExpandFn&& expand, StatsRegistry* stats = nullptr,
+                         PopHook&& pop_hook = {}) {
+  const std::size_t P = storage.places();
+
+  RunnerResult result;
+  result.expanded_by_place.assign(P, 0);
+  result.wasted_by_place.assign(P, 0);
+  if (seeds.empty()) {
+    result.totals = stats ? stats->total() : PlaceStats{};
+    return result;
+  }
+
+  std::atomic<std::int64_t> pending{
+      static_cast<std::int64_t>(seeds.size())};
+  for (std::size_t i = 0; i < seeds.size(); ++i) {
+    // Round-robin seeding: multi-seed workloads (DES populations) start
+    // spread across places; a single seed lands at place 0 exactly like
+    // the original SSSP loop.
+    storage.push(storage.place(i % P), k, seeds[i]);
+  }
+
+  // Per-place tallies live on their own cache lines during the run.
+  struct alignas(kCacheLine) Local {
+    std::uint64_t expanded = 0;
+    std::uint64_t wasted = 0;
+  };
+  std::vector<Local> locals(P);
+
+  auto worker = [&](std::size_t place_idx) {
+    auto& place = storage.place(place_idx);
+    RunnerHandle<Storage> handle(storage, place, k, pending);
+    Local& local = locals[place_idx];
+    int idle_spins = 0;
+
+    while (true) {
+      auto task = storage.pop(place);
+      if (!task) {
+        if (pending.load(std::memory_order_acquire) == 0) break;
+        if (++idle_spins > 64) {
+          std::this_thread::yield();
+          idle_spins = 0;
+        }
+        continue;
+      }
+      idle_spins = 0;
+
+      pop_hook(place_idx, *task);
+      if (expand(handle, *task)) {
+        ++local.expanded;
+      } else {
+        ++local.wasted;
+      }
+      // Children are spawned; only now may this task stop holding the
+      // counter above zero.
+      pending.fetch_sub(1, std::memory_order_acq_rel);
+    }
+  };
+
+  const auto t0 = std::chrono::steady_clock::now();
+  if (P == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(P);
+    for (std::size_t p = 0; p < P; ++p) threads.emplace_back(worker, p);
+    for (auto& t : threads) t.join();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  result.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (std::size_t p = 0; p < P; ++p) {
+    result.expanded_by_place[p] = locals[p].expanded;
+    result.wasted_by_place[p] = locals[p].wasted;
+    result.expanded += locals[p].expanded;
+    result.wasted += locals[p].wasted;
+  }
+  result.totals = stats ? stats->total() : PlaceStats{};
+  result.tasks_spawned = result.totals.get(Counter::tasks_spawned);
+  return result;
+}
+
+}  // namespace kps

@@ -60,6 +60,36 @@ int main() {
   assert(!Args::parse_double("inf", &d));
   assert(!Args::parse_double("-1", &d));  // all double flags are >= 0
 
+  // --name=value splitting: canonicalized before validation, so both
+  // spellings hit the same accept-list and value checks.
+  {
+    const std::vector<std::string> wl = {"workload", "n", "paper"};
+    std::vector<std::string> v = {"--workload=des", "--n=5"};
+    assert(Args::split_attached(&v, &err));
+    assert((v == std::vector<std::string>{"--workload", "des", "--n", "5"}));
+    assert(Args::check(v, wl, &err));
+
+    // Unknown flags stay fail-fast through the attached spelling.
+    v = {"--frobnicate=1"};
+    assert(Args::split_attached(&v, &err));
+    assert(!Args::check(v, wl, &err));
+    assert(err.find("unknown flag") != std::string::npos);
+
+    // Empty name / empty value / boolean-with-value are all typos.
+    v = {"--=des"};
+    assert(!Args::split_attached(&v, &err));
+    v = {"--workload="};
+    assert(!Args::split_attached(&v, &err));
+    assert(err.find("expects a value") != std::string::npos);
+    v = {"--paper=1"};
+    assert(Args::split_attached(&v, &err));
+    assert(!Args::check(v, wl, &err));  // "1" becomes a stray argument
+
+    // A string flag with a missing value is still rejected.
+    v = {"--workload"};
+    assert(!Args::check(v, wl, &err));
+  }
+
   // End-to-end through the accessors.
   std::vector<std::string> raw = {"prog", "--n", "42", "--p", "0.25"};
   std::vector<char*> argv;
@@ -69,6 +99,16 @@ int main() {
   assert(args.value_d("p", 0) == 0.25);
   assert(args.value("graphs", 7) == 7);  // default passthrough
   assert(!args.flag("paper"));
+
+  // String accessor end-to-end, attached spelling included.
+  std::vector<std::string> raw_s = {"prog", "--workload=des", "--n", "3"};
+  std::vector<char*> argv_s;
+  for (auto& s : raw_s) argv_s.push_back(s.data());
+  Args args_s(static_cast<int>(argv_s.size()), argv_s.data(),
+              std::vector<std::string>{"workload", "n"});
+  assert(args_s.value_s("workload", "all") == "des");
+  assert(args_s.value_s("mode", "fallback") == "fallback");
+  assert(args_s.value("n", 0) == 3);  // numeric flags accept = form too
 
   std::printf("test_args: OK\n");
   return 0;

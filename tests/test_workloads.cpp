@@ -1,0 +1,242 @@
+// Tier-1: the three PR-3 workloads (DES, branch-and-bound, A*) must
+// reproduce their sequential oracles EXACTLY under every storage at
+// P ∈ {1, 4, 8} — including HybridKpq at publish_batch ∈ {1, 64} and
+// with the segment-spill policy forced on hard (max_segments = 2).
+// Relaxed pop order may cost deferrals / pruned pops / re-expansions,
+// never results.  Also holds a deterministic unit check for the
+// segment-store spill itself (conservation + spill counter).
+#include <cassert>
+#include <cstdio>
+#include <optional>
+#include <vector>
+
+#include "core/centralized_kpq.hpp"
+#include "core/global_pq.hpp"
+#include "core/hybrid_kpq.hpp"
+#include "core/multiqueue.hpp"
+#include "core/task_types.hpp"
+#include "core/ws_deque_pool.hpp"
+#include "core/ws_priority.hpp"
+#include "workloads/astar.hpp"
+#include "workloads/bnb.hpp"
+#include "workloads/des.hpp"
+#include "workloads/runner.hpp"
+
+namespace {
+
+using namespace kps;
+
+static_assert(TaskStorage<HybridKpq<DesTask>>);
+static_assert(TaskStorage<CentralizedKpq<BnbTask>>);
+static_assert(TaskStorage<MultiQueuePool<AstarTask>>);
+
+template <typename TaskT, template <typename> class StorageT>
+StorageT<TaskT> make_storage(std::size_t P, int k, std::uint64_t seed,
+                             StatsRegistry& stats, StorageConfig extra) {
+  StorageConfig cfg = extra;
+  cfg.k_max = k;
+  cfg.default_k = k;
+  cfg.seed = seed;
+  return StorageT<TaskT>(P, cfg, &stats);
+}
+
+// ----------------------------------------------------------------- DES
+
+template <template <typename> class StorageT>
+void check_des(const char* name, const DesParams& params,
+               const DesOutcome& oracle, std::size_t P, int k,
+               StorageConfig extra = {}) {
+  StatsRegistry stats(P);
+  auto storage =
+      make_storage<DesTask, StorageT>(P, k, params.seed, stats, extra);
+  // Runner pop-hook contract: fires exactly once per claimed task.
+  std::atomic<std::uint64_t> hook_pops{0};
+  auto hook = [&](std::size_t, const DesTask&) {
+    hook_pops.fetch_add(1, std::memory_order_relaxed);
+  };
+  const DesRun run = des_parallel(params, storage, k, &stats, hook);
+  if (!(run.outcome == oracle)) {
+    std::fprintf(stderr,
+                 "des/%s P=%zu k=%d: events=%llu (oracle %llu), "
+                 "checksum=%llx (oracle %llx)\n",
+                 name, P, k,
+                 static_cast<unsigned long long>(run.outcome.events),
+                 static_cast<unsigned long long>(oracle.events),
+                 static_cast<unsigned long long>(run.outcome.checksum),
+                 static_cast<unsigned long long>(oracle.checksum));
+    assert(false);
+  }
+  assert(run.runner.expanded == oracle.events);
+  assert(run.runner.wasted == run.deferred);
+  assert(hook_pops.load(std::memory_order_relaxed) ==
+         run.runner.expanded + run.runner.wasted);
+}
+
+// ----------------------------------------------------------------- BnB
+
+template <template <typename> class StorageT>
+void check_bnb(const char* name, const KnapsackInstance& inst,
+               std::uint64_t oracle, std::size_t P, int k,
+               std::uint64_t seed, StorageConfig extra = {}) {
+  StatsRegistry stats(P);
+  auto storage = make_storage<BnbTask, StorageT>(P, k, seed, stats, extra);
+  const BnbRun run = bnb_parallel(inst, storage, k, &stats);
+  if (run.best_profit != oracle) {
+    std::fprintf(stderr,
+                 "bnb/%s P=%zu k=%d: best=%llu, dp oracle says %llu\n",
+                 name, P, k,
+                 static_cast<unsigned long long>(run.best_profit),
+                 static_cast<unsigned long long>(oracle));
+    assert(false);
+  }
+  assert(run.expanded >= 1);  // at least the root branches
+}
+
+// ------------------------------------------------------------------ A*
+
+template <template <typename> class StorageT>
+void check_astar(const char* name, const GridMaze& maze,
+                 std::uint32_t oracle, std::size_t P, int k,
+                 std::uint64_t seed, StorageConfig extra = {}) {
+  StatsRegistry stats(P);
+  auto storage =
+      make_storage<AstarTask, StorageT>(P, k, seed, stats, extra);
+  const AstarRun run = astar_parallel(maze, storage, k, &stats);
+  if (run.goal_dist != oracle) {
+    std::fprintf(stderr, "astar/%s P=%zu k=%d: dist=%u, bfs says %u\n",
+                 name, P, k, run.goal_dist, oracle);
+    assert(false);
+  }
+  assert(run.expanded >= 1);
+}
+
+/// Every storage (plus the hybrid's acceptance configs) on one
+/// workload instance at one (P, k) point.
+template <typename CheckFn>
+void all_storages(CheckFn&& check_one) {
+  check_one.template operator()<HybridKpq>("hybrid", StorageConfig{});
+  check_one.template operator()<CentralizedKpq>("centralized",
+                                                StorageConfig{});
+  check_one.template operator()<GlobalLockedPq>("global_pq",
+                                                StorageConfig{});
+  check_one.template operator()<MultiQueuePool>("multiqueue",
+                                                StorageConfig{});
+  check_one.template operator()<WsPriorityPool>("ws_priority",
+                                                StorageConfig{});
+  check_one.template operator()<WsDequePool>("ws_deque", StorageConfig{});
+  // Acceptance: hybrid must stay exact at publish_batch 1 and 64, and
+  // with the spill policy triggering constantly.
+  StorageConfig batch1;
+  batch1.publish_batch = 1;
+  check_one.template operator()<HybridKpq>("hybrid/batch1", batch1);
+  StorageConfig batch64;
+  batch64.publish_batch = 64;
+  check_one.template operator()<HybridKpq>("hybrid/batch64", batch64);
+  StorageConfig spill;
+  spill.publish_batch = 2;
+  spill.max_segments = 2;
+  check_one.template operator()<HybridKpq>("hybrid/spill", spill);
+}
+
+// ----------------------------------------- segment-spill unit check
+
+/// Deterministic spill trigger: one place, k = 8, publish_batch = 2 —
+/// every publish splits 8 tasks into 4 fresh segments, so pushing 128
+/// tasks with no interleaved pops must blow through max_segments = 4
+/// and spill.  Afterwards every task must come back out exactly once
+/// (conservation across heap + segments), in globally sorted order at
+/// P = 1 (private tier empty, single shard: pop always takes the true
+/// shard minimum).
+void test_segment_spill_unit() {
+  StorageConfig cfg;
+  cfg.k_max = 8;
+  cfg.default_k = 8;
+  cfg.publish_batch = 2;
+  cfg.max_segments = 4;
+  StatsRegistry stats(1);
+  HybridKpq<SsspTask> storage(1, cfg, &stats);
+  auto& place = storage.place(0);
+
+  const int kTasks = 128;
+  for (int i = 0; i < kTasks; ++i) {
+    // Decreasing priorities adversarially interleave segment runs.
+    storage.push(place, 8, {static_cast<double>(kTasks - i), 0u});
+  }
+  const PlaceStats mid = stats.total();
+  assert(mid.get(Counter::segment_spills) >= 1);
+  assert(mid.get(Counter::segment_merges) >= 1);
+
+  double last = -1.0;
+  int popped = 0;
+  while (true) {
+    std::optional<SsspTask> t = storage.pop(place);
+    if (!t) break;
+    assert(t->priority >= last);  // spill must not break the pop order
+    last = t->priority;
+    ++popped;
+  }
+  assert(popped == kTasks);  // conservation: a spill never loses a task
+  std::printf("  segment spill unit: %llu spills, order + conservation OK\n",
+              static_cast<unsigned long long>(
+                  stats.total().get(Counter::segment_spills)));
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t kPlaces[] = {1, 4, 8};
+  const int k = 64;
+
+  // --- DES: two parameter points (windowed and window-free).
+  for (int variant = 0; variant < 2; ++variant) {
+    DesParams params;
+    params.stations = 16;
+    params.chains = 48;
+    params.horizon = 20.0;
+    params.window = variant ? -1.0 : 4.0;  // -1: causality rule off
+    params.seed = 7 + variant;
+    const DesOutcome oracle = des_sequential(params);
+    assert(oracle.events > params.chains);  // chains actually advanced
+    for (std::size_t P : kPlaces) {
+      all_storages([&]<template <typename> class S>(const char* name,
+                                                    StorageConfig extra) {
+        check_des<S>(name, params, oracle, P, k, extra);
+      });
+    }
+  }
+
+  // --- Branch-and-bound: two seeded instances, DP oracle.
+  for (std::uint64_t seed : {3ull, 11ull}) {
+    const KnapsackInstance inst = knapsack_instance(seed == 3 ? 18 : 21,
+                                                    seed);
+    const std::uint64_t oracle = knapsack_dp(inst);
+    assert(oracle > 0);
+    for (std::size_t P : kPlaces) {
+      all_storages([&]<template <typename> class S>(const char* name,
+                                                    StorageConfig extra) {
+        check_bnb<S>(name, inst, oracle, P, k, seed, extra);
+      });
+    }
+  }
+
+  // --- A*: a solvable maze and a dense likely-unsolvable one.
+  {
+    const GridMaze open_maze = grid_maze(48, 48, 0.2, 5);
+    const std::uint32_t open_dist = grid_bfs_dist(open_maze);
+    assert(open_dist != kGridInf);  // this seed must stay solvable
+    const GridMaze dense_maze = grid_maze(32, 32, 0.5, 9);
+    const std::uint32_t dense_dist = grid_bfs_dist(dense_maze);
+    for (std::size_t P : kPlaces) {
+      all_storages([&]<template <typename> class S>(const char* name,
+                                                    StorageConfig extra) {
+        check_astar<S>(name, open_maze, open_dist, P, k, 1, extra);
+        check_astar<S>(name, dense_maze, dense_dist, P, k, 2, extra);
+      });
+    }
+  }
+
+  test_segment_spill_unit();
+
+  std::printf("test_workloads: OK\n");
+  return 0;
+}

@@ -1,7 +1,10 @@
 // Baseline recorder: one JSON document comparing parallel-SSSP wall time
-// and wasted work across every storage, at fixed (n, p, P, k).
+// and wasted work across every storage, at fixed (n, p, P, k) — plus,
+// since PR 3, one row per storage for each non-SSSP workload (DES,
+// branch-and-bound knapsack, A*), each verified against its sequential
+// oracle inline ("exact": true must hold in every committed baseline).
 //
-//   ./build/tools/bench_baseline --n 2000 --P 8 --k 1024 > BENCH_pr1.json
+//   ./build/tools/bench_baseline --n 2000 --P 8 --k 1024 > BENCH_pr3.json
 //
 // The per-PR BENCH_*.json trajectory is measured with this tool so later
 // perf PRs are judged against identical methodology.
@@ -16,6 +19,9 @@
 #include "core/multiqueue.hpp"
 #include "core/ws_deque_pool.hpp"
 #include "core/ws_priority.hpp"
+#include "workloads/astar.hpp"
+#include "workloads/bnb.hpp"
+#include "workloads/des.hpp"
 
 namespace {
 using namespace kps;
@@ -37,6 +43,62 @@ void emit(const char* name, const SsspAggregate& a, bool last) {
       "\"nodes_relaxed\": %.1f, \"tasks_spawned\": %.1f}%s\n",
       name, a.seconds.mean(), a.seconds.stderr_(), a.nodes_relaxed.mean(),
       a.tasks_spawned.mean(), last ? "" : ",");
+}
+
+// ------------------------------------------------- PR-3 workload rows
+
+struct WorkloadRow {
+  double seconds = 0;
+  std::uint64_t expanded = 0;
+  std::uint64_t wasted = 0;
+  bool exact = false;
+};
+
+void emit_workload(const char* name, const WorkloadRow& r, bool last) {
+  std::printf("    \"%s\": {\"time_s\": %.6f, \"expanded\": %llu, "
+              "\"wasted\": %llu, \"exact\": %s}%s\n",
+              name, r.seconds,
+              static_cast<unsigned long long>(r.expanded),
+              static_cast<unsigned long long>(r.wasted),
+              r.exact ? "true" : "false", last ? "" : ",");
+}
+
+template <typename TaskT, template <typename> class StorageT, typename Fn>
+WorkloadRow workload_row(std::size_t P, int k, std::uint64_t seed,
+                         Fn&& run_one) {
+  StorageConfig cfg;
+  cfg.k_max = k;
+  cfg.default_k = k;
+  cfg.seed = seed;
+  StatsRegistry stats(P);
+  StorageT<TaskT> storage(P, cfg, &stats);
+  return run_one(storage, stats);
+}
+
+/// One `"workload": {six storage rows}` JSON object.  `run_one` measures
+/// a single storage and reports exactness against the oracle computed by
+/// the caller.
+template <typename TaskT, typename Fn>
+void emit_workload_block(const char* workload, std::size_t P, int k,
+                         Fn&& run_one, bool last) {
+  std::printf("  \"%s\": {\n", workload);
+  emit_workload("global_pq",
+                workload_row<TaskT, GlobalLockedPq>(P, k, 1, run_one),
+                false);
+  emit_workload("centralized_kpq",
+                workload_row<TaskT, CentralizedKpq>(P, k, 1, run_one),
+                false);
+  emit_workload("hybrid_kpq",
+                workload_row<TaskT, HybridKpq>(P, k, 1, run_one), false);
+  emit_workload("multiqueue",
+                workload_row<TaskT, MultiQueuePool>(P, k, 1, run_one),
+                false);
+  emit_workload("ws_priority",
+                workload_row<TaskT, WsPriorityPool>(P, k, 1, run_one),
+                false);
+  emit_workload("ws_deque",
+                workload_row<TaskT, WsDequePool>(P, k, 1, run_one), true);
+  std::printf("  }%s\n", last ? "" : ",");
 }
 
 }  // namespace
@@ -103,6 +165,50 @@ int main(int argc, char** argv) {
   emit("ws_priority", ws_prio, false);
   emit("ws_deque", ws_deque, true);
   std::printf("  },\n");
+
+  // PR-3 workload rows (fig6 methodology, fixed mid-size instances
+  // scaled by --n only through the defaults): every row carries its own
+  // oracle-exactness verdict, so a committed BENCH_*.json doubles as a
+  // correctness witness.
+  {
+    DesParams dp;
+    dp.chains = 192;
+    dp.stations = 48;
+    dp.horizon = 40.0;
+    dp.seed = 1;
+    const DesOutcome des_oracle = des_sequential(dp);
+    emit_workload_block<DesTask>(
+        "des", P, k,
+        [&](auto& storage, StatsRegistry& stats) {
+          const DesRun r = des_parallel(dp, storage, k, &stats);
+          return WorkloadRow{r.runner.seconds, r.outcome.events,
+                             r.deferred, r.outcome == des_oracle};
+        },
+        false);
+
+    const KnapsackInstance inst = knapsack_instance(30, 18);
+    const std::uint64_t dp_opt = knapsack_dp(inst);
+    emit_workload_block<BnbTask>(
+        "bnb", P, k,
+        [&](auto& storage, StatsRegistry& stats) {
+          const BnbRun r = bnb_parallel(inst, storage, k, &stats);
+          return WorkloadRow{r.runner.seconds, r.expanded, r.pruned,
+                             r.best_profit == dp_opt};
+        },
+        false);
+
+    const GridMaze maze = grid_maze(160, 160, 0.22, 24);
+    const std::uint32_t bfs = grid_bfs_dist(maze);
+    emit_workload_block<AstarTask>(
+        "astar", P, k,
+        [&](auto& storage, StatsRegistry& stats) {
+          const AstarRun r = astar_parallel(maze, storage, k, &stats);
+          return WorkloadRow{r.runner.seconds, r.expanded, r.wasted,
+                             r.goal_dist == bfs};
+        },
+        false);
+  }
+
   std::printf("  \"speedup_vs_global_pq\": {\"hybrid\": %.2f, "
               "\"multiqueue\": %.2f, \"ws_priority\": %.2f}\n",
               global_pq.seconds.mean() / hybrid.seconds.mean(),
