@@ -110,7 +110,7 @@ int main(int argc, char** argv) {
           erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
       StorageConfig cfg;
       cfg.publish_batch = batch;
-      run_sssp<HybridKpq<SsspTask>>(graph, P, k, 60 * g + 1, agg, cfg);
+      run_sssp("hybrid", graph, P, k, 60 * g + 1, agg, cfg);
     }
     const double graphs = static_cast<double>(w.graphs);
     std::printf(

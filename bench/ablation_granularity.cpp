@@ -11,8 +11,6 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/hybrid_kpq.hpp"
-#include "core/ws_priority.hpp"
 
 namespace {
 using namespace kps;
@@ -41,8 +39,9 @@ int main(int argc, char** argv) {
       Graph graph =
           erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
       StatsRegistry stats(P);
-      WsPriorityPool<SsspTask> storage(
-          P, StorageConfig{.k_max = 512, .default_k = 512}, &stats);
+      auto storage = make_storage<SsspTask>(
+          "ws_priority", P, StorageConfig{.k_max = 512, .default_k = 512},
+          &stats);
       auto r = parallel_sssp(graph, 0, storage, 512, &stats, grain);
       ws.seconds.add(r.seconds);
       ws.nodes_relaxed.add(static_cast<double>(r.nodes_relaxed));
@@ -53,9 +52,10 @@ int main(int argc, char** argv) {
         Graph graph =
             erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
         StatsRegistry stats(P);
-        HybridKpq<SsspTask> storage(
-            P, StorageConfig{.k_max = std::max(k, 1),
-                             .default_k = std::max(k, 1)},
+        auto storage = make_storage<SsspTask>(
+            "hybrid", P,
+            StorageConfig{.k_max = std::max(k, 1),
+                          .default_k = std::max(k, 1)},
             &stats);
         auto r = parallel_sssp(graph, 0, storage, k, &stats, grain);
         hybrid.seconds.add(r.seconds);

@@ -10,9 +10,6 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/centralized_kpq.hpp"
-#include "core/global_pq.hpp"
-#include "core/hybrid_kpq.hpp"
 #include "core/task_types.hpp"
 
 namespace {
@@ -27,11 +24,13 @@ struct RankStats {
   double p99 = 0;
 };
 
-template <typename S>
-RankStats measure(int k, std::uint64_t tasks, std::uint64_t seed) {
-  S storage(2, StorageConfig{.k_max = std::max(k, 1),
-                             .default_k = std::max(k, 1),
-                             .seed = seed});
+RankStats measure(const std::string& name, int k, std::uint64_t tasks,
+                  std::uint64_t seed) {
+  auto storage = make_storage<BenchTask>(
+      name, 2,
+      StorageConfig{.k_max = std::max(k, 1),
+                    .default_k = std::max(k, 1),
+                    .seed = seed});
   Xoshiro256 rng(seed);
   std::multiset<double> live;
   std::vector<std::uint64_t> ranks;
@@ -84,9 +83,9 @@ int main(int argc, char** argv) {
       "hybrid_max,strict_mean\n");
 
   for (int k : {1, 2, 4, 8, 16, 32, 64, 128, 256, 512}) {
-    const auto central = measure<CentralizedKpq<BenchTask>>(k, tasks, 7);
-    const auto hybrid = measure<HybridKpq<BenchTask>>(k, tasks, 7);
-    const auto strict = measure<GlobalLockedPq<BenchTask>>(k, tasks, 7);
+    const auto central = measure("centralized", k, tasks, 7);
+    const auto hybrid = measure("hybrid", k, tasks, 7);
+    const auto strict = measure("global_pq", k, tasks, 7);
     std::printf("%d,%.3f,%.0f,%llu,%.3f,%.0f,%llu,%.3f\n", k, central.mean,
                 central.p99, static_cast<unsigned long long>(central.max),
                 hybrid.mean, hybrid.p99,

@@ -9,7 +9,6 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/hybrid_kpq.hpp"
 
 namespace {
 using namespace kps;
@@ -35,10 +34,10 @@ int main(int argc, char** argv) {
           erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
       StorageConfig on;
       on.enable_spying = true;
-      run_sssp<HybridKpq<SsspTask>>(graph, P, k, 30 * g + 1, with_spy, on);
+      run_sssp("hybrid", graph, P, k, 30 * g + 1, with_spy, on);
       StorageConfig off;
       off.enable_spying = false;
-      run_sssp<HybridKpq<SsspTask>>(graph, P, k, 30 * g + 1, no_spy, off);
+      run_sssp("hybrid", graph, P, k, 30 * g + 1, no_spy, off);
     }
     std::printf("%d,%.4f,%.4f,%.0f,%.0f,%.0f,%.0f,%.0f\n", k,
                 with_spy.seconds.mean(), no_spy.seconds.mean(),

@@ -8,8 +8,6 @@
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "core/ws_deque_pool.hpp"
-#include "core/ws_priority.hpp"
 
 namespace {
 using namespace kps;
@@ -33,13 +31,11 @@ int main(int argc, char** argv) {
         erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
     StorageConfig cfg_half;
     cfg_half.steal_half = true;
-    run_sssp<WsPriorityPool<SsspTask>>(graph, P, 512, 40 * g + 1, half,
-                                       cfg_half);
+    run_sssp("ws_priority", graph, P, 512, 40 * g + 1, half, cfg_half);
     StorageConfig cfg_one;
     cfg_one.steal_half = false;
-    run_sssp<WsPriorityPool<SsspTask>>(graph, P, 512, 40 * g + 1, one,
-                                       cfg_one);
-    run_sssp<WsDequePool<SsspTask>>(graph, P, 512, 40 * g + 1, deque);
+    run_sssp("ws_priority", graph, P, 512, 40 * g + 1, one, cfg_one);
+    run_sssp("ws_deque", graph, P, 512, 40 * g + 1, deque);
   }
 
   std::printf("variant,time_s,nodes_relaxed,steal_attempts,stolen_items\n");

@@ -65,11 +65,10 @@ int main(int argc, char** argv) {
           erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
       StorageConfig tcfg;
       tcfg.structural_relaxation = false;
-      run_sssp<HybridKpq<SsspTask>>(graph, P, k, 50 * g + 1, temporal, tcfg);
+      run_sssp("hybrid", graph, P, k, 50 * g + 1, temporal, tcfg);
       StorageConfig scfg;
       scfg.structural_relaxation = true;
-      run_sssp<HybridKpq<SsspTask>>(graph, P, k, 50 * g + 1, structural,
-                                    scfg);
+      run_sssp("hybrid", graph, P, k, 50 * g + 1, structural, scfg);
     }
     const double graphs = static_cast<double>(w.graphs);
     std::printf("%d,%.4f,%.4f,%.0f,%.0f,%.0f,%.0f,%.0f,%.0f\n", k,

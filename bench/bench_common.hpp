@@ -1,6 +1,9 @@
 // Shared plumbing for the figure-reproduction harnesses: a tiny flag
-// parser, aggregate statistics, and the storage-parameterized SSSP runner
-// used by Figures 4 & 5 and the ablation benches.
+// parser, aggregate statistics, the registry-backed `--storage=` /
+// `--k-policy=` flag handling, and the storage-by-name SSSP runner used
+// by Figures 4 & 5 and the ablation benches.  Storage selection goes
+// through the AnyStorage facade (core/storage_registry.hpp) — no bench
+// instantiates per-storage template ladders anymore.
 //
 // Every figure bench runs with scaled-down defaults so the full
 // `for b in build/bench/*; do $b; done` loop completes in minutes on a
@@ -17,9 +20,12 @@
 #include <cstring>
 #include <initializer_list>
 #include <iterator>
+#include <limits>
 #include <string>
 #include <vector>
 
+#include "core/relaxation_policy.hpp"
+#include "core/storage_registry.hpp"
 #include "core/storage_traits.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/generators.hpp"
@@ -248,9 +254,65 @@ inline constexpr const char* kPublishBatchFlag = "publish-batch";
 
 inline StorageConfig apply_publish_batch(const Args& args,
                                          StorageConfig cfg = {}) {
-  cfg.publish_batch = static_cast<int>(args.value(
-      kPublishBatchFlag, static_cast<std::uint64_t>(cfg.publish_batch)));
+  const std::uint64_t batch = args.value(
+      kPublishBatchFlag, static_cast<std::uint64_t>(cfg.publish_batch));
+  // Range-check before the int field assignment: a u64 value above
+  // INT_MAX used to narrow into a negative publish_batch and silently
+  // flip the hybrid into per-task publishes.
+  if (batch > static_cast<std::uint64_t>(std::numeric_limits<int>::max())) {
+    std::fprintf(stderr, "error: --%s must fit an int, got %llu\n",
+                 kPublishBatchFlag, static_cast<unsigned long long>(batch));
+    std::exit(2);
+  }
+  cfg.publish_batch = static_cast<int>(batch);
   return cfg;
+}
+
+/// Shared --storage plumbing: one flag name, validated against the
+/// storage registry, with the registered names enumerated in the
+/// fail-fast diagnostic.  `storage_from_args` selects exactly one
+/// storage; `storages_from_args` additionally accepts "all" (the
+/// default) and returns the whole registry in canonical order.
+inline constexpr const char* kStorageFlag = "storage";
+
+inline std::string storage_from_args(const Args& args,
+                                     const std::string& def) {
+  const std::string name = args.value_s(kStorageFlag, def);
+  if (!is_storage_name(name)) {
+    std::fprintf(stderr, "error: --%s expects one of:%s — got '%s'\n",
+                 kStorageFlag, storage_names_joined().c_str(),
+                 name.c_str());
+    std::exit(2);
+  }
+  return name;
+}
+
+inline std::vector<std::string> storages_from_args(
+    const Args& args, const std::string& def = "all") {
+  const std::string which = args.value_s(kStorageFlag, def);
+  if (which == "all") {
+    return {std::begin(kStorageNames), std::end(kStorageNames)};
+  }
+  // Single-storage path: same validation + diagnostic as every other
+  // single-storage harness.
+  return {storage_from_args(args, which)};
+}
+
+/// Shared --k-policy plumbing: which relaxation policies a harness runs.
+inline constexpr const char* kKPolicyFlag = "k-policy";
+
+enum class KPolicyChoice { fixed, adaptive, both };
+
+inline KPolicyChoice k_policy_from_args(const Args& args,
+                                        const char* def = "both") {
+  const std::string v = args.value_s(kKPolicyFlag, def);
+  if (v == "fixed") return KPolicyChoice::fixed;
+  if (v == "adaptive") return KPolicyChoice::adaptive;
+  if (v == "both") return KPolicyChoice::both;
+  std::fprintf(stderr,
+               "error: --%s expects fixed|adaptive|both, got '%s'\n",
+               kKPolicyFlag, v.c_str());
+  std::exit(2);
 }
 
 struct SsspAggregate {
@@ -260,21 +322,34 @@ struct SsspAggregate {
   PlaceStats counters;  // summed over runs
 };
 
-/// One parallel-SSSP measurement with a fresh storage per run.
-template <typename Storage>
-void run_sssp(const Graph& g, std::size_t places, int k, std::uint64_t seed,
-              SsspAggregate& agg, StorageConfig extra = {}) {
+/// One parallel-SSSP measurement with a fresh registry-built storage per
+/// run.  `k_policy` is a plain int (fixed window) or any
+/// RelaxationPolicy; the storage's window capacity (cfg.k_max) must be
+/// sized by the caller when the policy's ceiling exceeds `k_cap`.
+template <typename KPolicy = int>
+void run_sssp(const std::string& storage_name, const Graph& g,
+              std::size_t places, KPolicy k_policy, int k_cap,
+              std::uint64_t seed, SsspAggregate& agg,
+              StorageConfig extra = {}) {
   StorageConfig cfg = extra;
-  cfg.k_max = std::max(k, 1);
-  cfg.default_k = std::max(k, 1);
+  cfg.k_max = std::max(k_cap, 1);
+  cfg.default_k = std::max(k_cap, 1);
   cfg.seed = seed;
   StatsRegistry stats(places);
-  Storage storage(places, cfg, &stats);
-  auto result = parallel_sssp(g, 0, storage, k, &stats);
+  AnyStorage<SsspTask> storage =
+      make_storage<SsspTask>(storage_name, places, cfg, &stats);
+  auto result = parallel_sssp(g, 0, storage, k_policy, &stats);
   agg.seconds.add(result.seconds);
   agg.nodes_relaxed.add(static_cast<double>(result.nodes_relaxed));
   agg.tasks_spawned.add(static_cast<double>(result.tasks_spawned));
   agg.counters += result.totals;
+}
+
+/// Fixed-window shorthand: the per-op window doubles as the capacity.
+inline void run_sssp(const std::string& storage_name, const Graph& g,
+                     std::size_t places, int k, std::uint64_t seed,
+                     SsspAggregate& agg, StorageConfig extra = {}) {
+  run_sssp(storage_name, g, places, k, k, seed, agg, extra);
 }
 
 inline void print_header(const char* title, const Workload& w) {

@@ -12,9 +12,6 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/centralized_kpq.hpp"
-#include "core/hybrid_kpq.hpp"
-#include "core/ws_priority.hpp"
 
 namespace {
 
@@ -61,11 +58,9 @@ int main(int argc, char** argv) {
         row.seq.seconds.add(std::chrono::duration<double>(t1 - t0).count());
         row.seq.nodes_relaxed.add(static_cast<double>(seq.relaxations));
       }
-      run_sssp<WsPriorityPool<SsspTask>>(graph, row.P, k, 10 * g + 1,
-                                         row.ws);
-      run_sssp<CentralizedKpq<SsspTask>>(graph, row.P, k, 10 * g + 2,
-                                         row.central);
-      run_sssp<HybridKpq<SsspTask>>(graph, row.P, k, 10 * g + 3, row.hybrid);
+      run_sssp("ws_priority", graph, row.P, k, 10 * g + 1, row.ws);
+      run_sssp("centralized", graph, row.P, k, 10 * g + 2, row.central);
+      run_sssp("hybrid", graph, row.P, k, 10 * g + 3, row.hybrid);
     }
     std::fprintf(stderr, "graph %llu/%llu done\n",
                  static_cast<unsigned long long>(g + 1),

@@ -11,9 +11,6 @@
 #include <vector>
 
 #include "bench_common.hpp"
-#include "core/centralized_kpq.hpp"
-#include "core/hybrid_kpq.hpp"
-#include "core/ws_priority.hpp"
 
 namespace {
 using namespace kps;
@@ -47,23 +44,15 @@ int main(int argc, char** argv) {
   for (std::uint64_t g = 0; g < w.graphs; ++g) {
     Graph graph =
         erdos_renyi(static_cast<Graph::node_t>(w.n), w.p, w.seed0 + g);
-    run_sssp<WsPriorityPool<SsspTask>>(graph, P, 512, 20 * g + 1, ws);
+    run_sssp("ws_priority", graph, P, 512, 20 * g + 1, ws);
     for (std::size_t i = 0; i < ks.size(); ++i) {
       const int k = ks[i];
-      run_sssp<CentralizedKpq<SsspTask>>(graph, P, std::max(k, 1),
-                                         20 * g + 2, central[i]);
-      // Hybrid honours k = 0 (publish on every push).
-      StorageConfig hybrid_cfg = apply_publish_batch(args);
-      hybrid_cfg.k_max = std::max(k, 0);
-      hybrid_cfg.default_k = std::max(k, 0);
-      hybrid_cfg.seed = 20 * g + 3;
-      StatsRegistry stats(P);
-      HybridKpq<SsspTask> storage(P, hybrid_cfg, &stats);
-      auto r = parallel_sssp(graph, 0, storage, k, &stats);
-      hybrid[i].seconds.add(r.seconds);
-      hybrid[i].nodes_relaxed.add(static_cast<double>(r.nodes_relaxed));
-      hybrid[i].tasks_spawned.add(static_cast<double>(r.tasks_spawned));
-      hybrid[i].counters += r.totals;
+      run_sssp("centralized", graph, P, std::max(k, 1), 20 * g + 2,
+               central[i]);
+      // Hybrid honours the per-op k = 0 (publish on every push); the
+      // config capacity is clamped to the validator's floor of 1.
+      run_sssp("hybrid", graph, P, k, std::max(k, 1), 20 * g + 3,
+               hybrid[i], apply_publish_batch(args));
     }
     std::fprintf(stderr, "graph %llu/%llu done\n",
                  static_cast<unsigned long long>(g + 1),

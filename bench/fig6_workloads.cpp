@@ -9,19 +9,17 @@
 // inversions (events committed behind the committed high-water mark —
 // deferred pops do not move it), a storage-independent rank-error proxy.
 //
+// Storage selection is the registry facade: the sweep iterates the
+// registered names (or the single --storage=<name>), so adding a storage
+// to core/storage_registry.hpp adds it to this figure automatically.
+//
 //   ./fig6_workloads --workload=des --maxp 8
-//   ./fig6_workloads --workload=all --chains 128 --items 26 --grid 96
-#include <atomic>
+//   ./fig6_workloads --workload=all --storage=hybrid --items 26
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "core/centralized_kpq.hpp"
-#include "core/global_pq.hpp"
-#include "core/hybrid_kpq.hpp"
-#include "core/multiqueue.hpp"
-#include "core/ws_deque_pool.hpp"
-#include "core/ws_priority.hpp"
 #include "workloads/astar.hpp"
 #include "workloads/bnb.hpp"
 #include "workloads/des.hpp"
@@ -32,6 +30,7 @@ using namespace kps;
 using namespace kps::bench;
 
 struct Sweep {
+  std::vector<std::string> storages;
   std::size_t maxp = 8;
   int k = 256;
   std::uint64_t seed = 1;
@@ -42,84 +41,46 @@ void row_header() {
               "time_s", "expanded", "wasted", "extra", "exact");
 }
 
-void emit_row(const char* name, std::size_t P, double seconds,
+void emit_row(const std::string& name, std::size_t P, double seconds,
               std::uint64_t expanded, std::uint64_t wasted,
               const char* extra_label, std::uint64_t extra, bool exact) {
-  std::printf("%-12s %4zu %10.4f %12llu %12llu %6s=%-3llu %7s\n", name, P,
-              seconds, static_cast<unsigned long long>(expanded),
+  std::printf("%-12s %4zu %10.4f %12llu %12llu %6s=%-3llu %7s\n",
+              name.c_str(), P, seconds,
+              static_cast<unsigned long long>(expanded),
               static_cast<unsigned long long>(wasted), extra_label,
               static_cast<unsigned long long>(extra),
               exact ? "yes" : "NO");
 }
 
-template <typename TaskT, template <typename> class StorageT>
-StorageT<TaskT> make_storage(std::size_t P, const Sweep& sw,
-                             StatsRegistry& stats) {
+template <typename TaskT>
+AnyStorage<TaskT> sweep_storage(const std::string& name, std::size_t P,
+                                const Sweep& sw, StatsRegistry& stats) {
   StorageConfig cfg;
   cfg.k_max = sw.k;
   cfg.default_k = sw.k;
   cfg.seed = sw.seed;
-  return StorageT<TaskT>(P, cfg, &stats);
+  return make_storage<TaskT>(name, P, cfg, &stats);
 }
 
-// ----------------------------------------------------------------- DES
-
-template <template <typename> class StorageT>
-void des_rows(const char* name, const DesParams& params,
-              const DesOutcome& oracle, const Sweep& sw) {
-  for (std::size_t P = 1; P <= sw.maxp; P *= 2) {
-    StatsRegistry stats(P);
-    auto storage = make_storage<DesTask, StorageT>(P, sw, stats);
-    const DesRun run = des_parallel(params, storage, sw.k, &stats);
-    emit_row(name, P, run.runner.seconds, run.outcome.events, run.deferred,
-             "inv", run.inversions, run.outcome == oracle);
+/// One workload panel: every selected storage × P ∈ {1, 2, 4, ..., maxp}.
+template <typename TaskT, typename RunFn>
+void panel(const Sweep& sw, RunFn&& run_one) {
+  row_header();
+  for (const std::string& name : sw.storages) {
+    for (std::size_t P = 1; P <= sw.maxp; P *= 2) {
+      StatsRegistry stats(P);
+      auto storage = sweep_storage<TaskT>(name, P, sw, stats);
+      run_one(name, P, storage, stats);
+    }
   }
-}
-
-// ----------------------------------------------------------------- BnB
-
-template <template <typename> class StorageT>
-void bnb_rows(const char* name, const KnapsackInstance& inst,
-              std::uint64_t oracle, const Sweep& sw) {
-  for (std::size_t P = 1; P <= sw.maxp; P *= 2) {
-    StatsRegistry stats(P);
-    auto storage = make_storage<BnbTask, StorageT>(P, sw, stats);
-    const BnbRun run = bnb_parallel(inst, storage, sw.k, &stats);
-    emit_row(name, P, run.runner.seconds, run.expanded, run.pruned, "best",
-             run.best_profit, run.best_profit == oracle);
-  }
-}
-
-// ------------------------------------------------------------------ A*
-
-template <template <typename> class StorageT>
-void astar_rows(const char* name, const GridMaze& maze,
-                std::uint32_t oracle, const Sweep& sw) {
-  for (std::size_t P = 1; P <= sw.maxp; P *= 2) {
-    StatsRegistry stats(P);
-    auto storage = make_storage<AstarTask, StorageT>(P, sw, stats);
-    const AstarRun run = astar_parallel(maze, storage, sw.k, &stats);
-    emit_row(name, P, run.runner.seconds, run.expanded, run.wasted, "dist",
-             run.goal_dist, run.goal_dist == oracle);
-  }
-}
-
-template <typename RowFn>
-void all_storages(RowFn&& rows) {
-  rows.template operator()<GlobalLockedPq>("global_pq");
-  rows.template operator()<CentralizedKpq>("centralized");
-  rows.template operator()<HybridKpq>("hybrid");
-  rows.template operator()<MultiQueuePool>("multiqueue");
-  rows.template operator()<WsPriorityPool>("ws_priority");
-  rows.template operator()<WsDequePool>("ws_deque");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   Args args(argc, argv,
-            {"workload", "maxp", "k", "seed", "chains", "stations",
-             "horizon", "window", "items", "grid", "density"});
+            {"workload", kStorageFlag, "maxp", "k", "seed", "chains",
+             "stations", "horizon", "window", "items", "grid", "density"});
   const std::string which = args.value_s("workload", "all");
   if (which != "all" && which != "des" && which != "bnb" &&
       which != "astar") {
@@ -129,6 +90,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   Sweep sw;
+  sw.storages = storages_from_args(args);
   sw.maxp = args.value("maxp", 8);
   sw.k = static_cast<int>(args.value("k", 256));
   sw.seed = args.value("seed", 1);
@@ -152,9 +114,12 @@ int main(int argc, char** argv) {
                 params.chains, params.stations, params.horizon,
                 params.window,
                 static_cast<unsigned long long>(oracle.events));
-    row_header();
-    all_storages([&]<template <typename> class S>(const char* name) {
-      des_rows<S>(name, params, oracle, sw);
+    panel<DesTask>(sw, [&](const std::string& name, std::size_t P,
+                           AnyStorage<DesTask>& storage,
+                           StatsRegistry& stats) {
+      const DesRun run = des_parallel(params, storage, sw.k, &stats);
+      emit_row(name, P, run.runner.seconds, run.outcome.events,
+               run.deferred, "inv", run.inversions, run.outcome == oracle);
     });
     std::printf("# expect: exact=yes everywhere; wasted (deferred pops) "
                 "and inversions grow with the storage's effective rho\n");
@@ -170,9 +135,12 @@ int main(int argc, char** argv) {
                 inst.items(),
                 static_cast<unsigned long long>(inst.capacity),
                 static_cast<unsigned long long>(oracle));
-    row_header();
-    all_storages([&]<template <typename> class S>(const char* name) {
-      bnb_rows<S>(name, inst, oracle, sw);
+    panel<BnbTask>(sw, [&](const std::string& name, std::size_t P,
+                           AnyStorage<BnbTask>& storage,
+                           StatsRegistry& stats) {
+      const BnbRun run = bnb_parallel(inst, storage, sw.k, &stats);
+      emit_row(name, P, run.runner.seconds, run.expanded, run.pruned,
+               "best", run.best_profit, run.best_profit == oracle);
     });
     std::printf("# expect: exact=yes everywhere; priority-blind pools "
                 "(ws_deque) expand/prune far more nodes than best-first "
@@ -189,9 +157,12 @@ int main(int argc, char** argv) {
                 "distance %s%u\n",
                 side, side, density,
                 oracle == kGridInf ? "unreachable " : "", oracle);
-    row_header();
-    all_storages([&]<template <typename> class S>(const char* name) {
-      astar_rows<S>(name, maze, oracle, sw);
+    panel<AstarTask>(sw, [&](const std::string& name, std::size_t P,
+                             AnyStorage<AstarTask>& storage,
+                             StatsRegistry& stats) {
+      const AstarRun run = astar_parallel(maze, storage, sw.k, &stats);
+      emit_row(name, P, run.runner.seconds, run.expanded, run.wasted,
+               "dist", run.goal_dist, run.goal_dist == oracle);
     });
     std::printf("# expect: exact=yes everywhere; wasted re-expansions "
                 "track relaxation (global_pq least, ws_deque most)\n");

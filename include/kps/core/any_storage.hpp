@@ -1,0 +1,87 @@
+// AnyStorage — the type-erased task-storage facade.
+//
+// Every concrete storage is a class template selected at compile time,
+// which forced each bench, test, and tool to instantiate a six-way
+// template dispatch ladder just to honour a --storage flag.  AnyStorage
+// collapses that: it wraps any TaskStorage behind one virtual interface
+// while itself modelling the TaskStorage concept, so it drops into
+// run_relaxed / parallel_sssp / every workload unchanged and the storage
+// choice becomes a runtime value (see core/storage_registry.hpp for the
+// name -> storage factory).
+//
+// Cost model: one virtual call per push/pop plus an index lookup for the
+// concrete Place.  That is noise next to the storages' own work (CAS
+// loops, heap ops, lock handoffs) and is paid only by harnesses that opt
+// into the facade — microbenches measuring a structure's raw hot path
+// keep using the concrete type directly.
+//
+// Thread contract: identical to the wrapped storage — one thread per
+// Place handle at a time, handles of different places concurrently safe.
+// The facade adds no state of its own to the hot path (the Place vector
+// is written only during construction).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/storage_traits.hpp"
+
+namespace kps {
+
+template <typename TaskT>
+class AnyStorage {
+ public:
+  using task_type = TaskT;
+
+  /// Facade-side place handle: just the index; the wrapped storage's own
+  /// Place (with its counters, RNG, heaps, ...) is resolved per call.
+  struct Place {
+    std::size_t index = 0;
+  };
+
+  template <TaskStorage S>
+    requires std::same_as<typename S::task_type, TaskT>
+  explicit AnyStorage(std::unique_ptr<S> impl)
+      : model_(std::make_unique<Model<S>>(std::move(impl))),
+        places_(model_->places()) {
+    for (std::size_t i = 0; i < places_.size(); ++i) places_[i].index = i;
+  }
+
+  std::size_t places() const { return places_.size(); }
+  Place& place(std::size_t i) { return places_[i]; }
+
+  void push(Place& p, int k, TaskT task) {
+    model_->push(p.index, k, std::move(task));
+  }
+
+  std::optional<TaskT> pop(Place& p) { return model_->pop(p.index); }
+
+ private:
+  struct Interface {
+    virtual ~Interface() = default;
+    virtual std::size_t places() = 0;
+    virtual void push(std::size_t place, int k, TaskT task) = 0;
+    virtual std::optional<TaskT> pop(std::size_t place) = 0;
+  };
+
+  template <typename S>
+  struct Model final : Interface {
+    explicit Model(std::unique_ptr<S> s) : impl(std::move(s)) {}
+    std::size_t places() override { return impl->places(); }
+    void push(std::size_t place, int k, TaskT task) override {
+      impl->push(impl->place(place), k, std::move(task));
+    }
+    std::optional<TaskT> pop(std::size_t place) override {
+      return impl->pop(impl->place(place));
+    }
+    std::unique_ptr<S> impl;
+  };
+
+  std::unique_ptr<Interface> model_;
+  std::vector<Place> places_;
+};
+
+}  // namespace kps

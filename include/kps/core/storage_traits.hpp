@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 
 #include "support/rng.hpp"
 #include "support/stats.hpp"
@@ -58,6 +60,39 @@ struct StorageConfig {
   // the slots recycled, so per-pop segment-index work stays bounded.
   // <= 0 disables spilling (the PR-2 unbounded-accumulation behaviour).
   int max_segments = 64;
+
+  /// Fail-fast validation, run by every storage constructor (and by the
+  /// registry before it even picks a storage): returns an empty string
+  /// for a usable config, else a diagnostic naming the bad field.  The
+  /// checks reject exactly the values that used to fail silently —
+  /// a k_max of 0 sized the centralized window to 1 behind the caller's
+  /// back, a negative publish_batch (e.g. a u64 flag value narrowed
+  /// through int) flipped the hybrid into per-task publishes, and a
+  /// multiqueue_factor of 0 was clamped to 1 without a word.
+  std::string validate() const {
+    if (k_max < 1) {
+      return "k_max must be >= 1, got " + std::to_string(k_max);
+    }
+    if (default_k < 0) {
+      return "default_k must be >= 0, got " + std::to_string(default_k);
+    }
+    if (default_k > k_max) {
+      return "default_k (" + std::to_string(default_k) +
+             ") must not exceed k_max (" + std::to_string(k_max) + ")";
+    }
+    if (publish_batch < 0) {
+      return "publish_batch must be >= 0, got " +
+             std::to_string(publish_batch);
+    }
+    if (max_segments < 0) {
+      return "max_segments must be >= 0 (0 disables spilling), got " +
+             std::to_string(max_segments);
+    }
+    if (multiqueue_factor == 0) {
+      return "multiqueue_factor must be >= 1";
+    }
+    return {};
+  }
 };
 
 namespace detail {
@@ -71,12 +106,24 @@ inline StatsRegistry* resolve_stats(std::size_t places, StatsRegistry* stats,
   return owned.get();
 }
 
+/// Shared fail-fast gate: every storage constructor funnels its config
+/// through here (via init_places), so a bad config can never silently
+/// reshape a structure mid-experiment.
+inline void require_valid(const StorageConfig& cfg) {
+  const std::string err = cfg.validate();
+  if (!err.empty()) {
+    throw std::invalid_argument("StorageConfig: " + err);
+  }
+}
+
 /// Common Place wiring shared by every storage: index, counter block, and
 /// (where the Place has one) a per-place RNG stream derived from the
-/// config seed.
+/// config seed.  Also the shared validation choke point — every storage
+/// calls this exactly once, from its constructor.
 template <typename PlaceVec>
 void init_places(PlaceVec& places, const StorageConfig& cfg,
                  StatsRegistry* stats) {
+  require_valid(cfg);
   for (std::size_t i = 0; i < places.size(); ++i) {
     places[i].index = i;
     places[i].counters = &stats->place(i);

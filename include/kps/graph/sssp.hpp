@@ -29,6 +29,8 @@ struct SsspResult {
   std::uint64_t nodes_relaxed = 0;  // non-stale task expansions
   std::uint64_t tasks_wasted = 0;   // stale pops (re-expansion overhead)
   std::uint64_t tasks_spawned = 0;  // pushes into the storage
+  std::uint64_t k_raised = 0;       // relaxation-policy window moves
+  std::uint64_t k_lowered = 0;
   PlaceStats totals;                // summed per-place storage counters
   std::vector<double> dist;
   std::uint64_t grain_sink = 0;     // keeps the A9 spin work observable
@@ -51,9 +53,11 @@ inline std::uint64_t spin_work(std::uint64_t seed, std::uint32_t grain) {
 
 }  // namespace detail
 
-template <typename Storage>
+/// `k_policy` is either a plain int (the legacy fixed window) or any
+/// RelaxationPolicy — both are forwarded verbatim to run_relaxed.
+template <typename Storage, typename KPolicy>
 SsspResult parallel_sssp(const Graph& g, Graph::node_t src, Storage& storage,
-                         int k, StatsRegistry* stats,
+                         KPolicy k_policy, StatsRegistry* stats,
                          std::uint32_t grain = 0) {
   const std::size_t n = g.num_nodes();
   const std::size_t P = storage.places();
@@ -96,13 +100,15 @@ SsspResult parallel_sssp(const Graph& g, Graph::node_t src, Storage& storage,
   };
 
   const RunnerResult r =
-      run_relaxed(storage, k, {SsspTask{0.0, src}}, expand, stats);
+      run_relaxed(storage, k_policy, {SsspTask{0.0, src}}, expand, stats);
 
   result.seconds = r.seconds;
   result.nodes_relaxed = r.expanded;
   result.tasks_wasted = r.wasted;
   result.totals = r.totals;
   result.tasks_spawned = r.tasks_spawned;
+  result.k_raised = r.k_raised;
+  result.k_lowered = r.k_lowered;
   for (const Sink& s : sinks) result.grain_sink += s.v;
   result.dist.resize(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -119,9 +119,10 @@ struct AstarRun {
   RunnerResult runner;
 };
 
-template <typename Storage>
-AstarRun astar_parallel(const GridMaze& m, Storage& storage, int k,
-                        StatsRegistry* stats = nullptr) {
+/// `k_policy`: plain int (fixed window) or any RelaxationPolicy.
+template <typename Storage, typename KPolicy>
+AstarRun astar_parallel(const GridMaze& m, Storage& storage,
+                        KPolicy k_policy, StatsRegistry* stats = nullptr) {
   static_assert(std::is_same_v<typename Storage::task_type, AstarTask>);
 
   std::vector<std::atomic<std::uint32_t>> g(m.nodes());
@@ -166,7 +167,7 @@ AstarRun astar_parallel(const GridMaze& m, Storage& storage, int k,
 
   AstarRun run;
   run.runner = run_relaxed(
-      storage, k,
+      storage, k_policy,
       {AstarTask{static_cast<double>(m.manhattan(m.start)),
                  AstarNode{m.start, 0}}},
       expand, stats);

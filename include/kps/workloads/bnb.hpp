@@ -83,6 +83,44 @@ inline KnapsackInstance knapsack_instance(std::size_t n,
   return sorted;
 }
 
+/// Strongly-correlated variant (profit = weight + a constant + tiny
+/// noise): the classic hard regime for branch-and-bound.  Every item's
+/// ratio sits within a hair of every other's, so the Dantzig bound
+/// barely separates siblings, the tree grows combinatorially, and the
+/// POP ORDER decides how many bound-dominated nodes get expanded before
+/// the incumbent catches up — exactly the k-sensitivity fig7 measures.
+/// The weakly-correlated default above stays the fig6/test instance.
+inline KnapsackInstance knapsack_instance_hard(std::size_t n,
+                                               std::uint64_t seed) {
+  Xoshiro256 rng(seed * 0x7f4a7c15ull + 3);
+  KnapsackInstance inst;
+  inst.weight.resize(n);
+  inst.profit.resize(n);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    inst.weight[i] = 30 + static_cast<std::uint32_t>(rng.next_bounded(71));
+    inst.profit[i] =
+        inst.weight[i] + 15 + static_cast<std::uint32_t>(rng.next_bounded(4));
+    total += inst.weight[i];
+  }
+  inst.capacity = total / 2;
+  std::vector<std::size_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  std::sort(idx.begin(), idx.end(), [&](std::size_t a, std::size_t b) {
+    return static_cast<std::uint64_t>(inst.profit[a]) * inst.weight[b] >
+           static_cast<std::uint64_t>(inst.profit[b]) * inst.weight[a];
+  });
+  KnapsackInstance sorted;
+  sorted.capacity = inst.capacity;
+  sorted.weight.reserve(n);
+  sorted.profit.reserve(n);
+  for (std::size_t i : idx) {
+    sorted.weight.push_back(inst.weight[i]);
+    sorted.profit.push_back(inst.profit[i]);
+  }
+  return sorted;
+}
+
 /// Sequential oracle: textbook O(n · capacity) dynamic program — a
 /// different algorithm entirely, so a search bug cannot cancel out.
 inline std::uint64_t knapsack_dp(const KnapsackInstance& inst) {
@@ -148,9 +186,10 @@ inline void cas_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
 
 }  // namespace detail
 
-template <typename Storage>
-BnbRun bnb_parallel(const KnapsackInstance& inst, Storage& storage, int k,
-                    StatsRegistry* stats = nullptr) {
+/// `k_policy`: plain int (fixed window) or any RelaxationPolicy.
+template <typename Storage, typename KPolicy>
+BnbRun bnb_parallel(const KnapsackInstance& inst, Storage& storage,
+                    KPolicy k_policy, StatsRegistry* stats = nullptr) {
   static_assert(std::is_same_v<typename Storage::task_type, BnbTask>);
   const auto n = static_cast<std::uint32_t>(inst.items());
   std::atomic<std::uint64_t> incumbent{0};
@@ -188,7 +227,7 @@ BnbRun bnb_parallel(const KnapsackInstance& inst, Storage& storage, int k,
   if (n == 0) return run;
   const std::uint64_t root_ub = knapsack_bound(inst, 0, 0, 0);
   run.runner = run_relaxed(
-      storage, k,
+      storage, k_policy,
       {BnbTask{-static_cast<double>(root_ub), BnbNode{0, 0, 0}}}, expand,
       stats);
   run.best_profit = incumbent.load(std::memory_order_relaxed);

@@ -166,8 +166,9 @@ inline DesOutcome des_sequential(const DesParams& p) {
   return out;
 }
 
-template <typename Storage, typename PopHook = NoPopHook>
-DesRun des_parallel(const DesParams& p, Storage& storage, int k,
+/// `k_policy`: plain int (fixed window) or any RelaxationPolicy.
+template <typename Storage, typename KPolicy, typename PopHook = NoPopHook>
+DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
                     StatsRegistry* stats = nullptr, PopHook&& hook = {}) {
   static_assert(std::is_same_v<typename Storage::task_type, DesTask>);
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -241,7 +242,7 @@ DesRun des_parallel(const DesParams& p, Storage& storage, int k,
   };
 
   DesRun run;
-  run.runner = run_relaxed(storage, k, seeds, expand, stats,
+  run.runner = run_relaxed(storage, k_policy, seeds, expand, stats,
                            std::forward<PopHook>(hook));
   run.deferred = deferred.load(std::memory_order_relaxed);
   run.inversions = inversions.load(std::memory_order_relaxed);

@@ -22,6 +22,13 @@
 // counter before pushing.  An optional pop hook observes every claimed
 // task before expansion (rank-error / timestamp-inversion probes) without
 // the workloads having to thread measurement through their expand logic.
+//
+// Since PR 4 the relaxation window is a pluggable policy
+// (core/relaxation_policy.hpp): the runner feeds every pop's outcome to
+// the policy's per-place state and re-reads the window before the next
+// pop, so spawns always push with the window the policy currently wants
+// for that place.  `run_relaxed(storage, k, ...)` with a plain integer is
+// the FixedK policy and reproduces the pre-policy behaviour exactly.
 #pragma once
 
 #include <atomic>
@@ -31,6 +38,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/relaxation_policy.hpp"
 #include "core/storage_traits.hpp"
 #include "support/stats.hpp"
 
@@ -41,21 +49,26 @@ struct RunnerResult {
   std::uint64_t expanded = 0;      // pops whose expand() returned true
   std::uint64_t wasted = 0;        // pops whose expand() returned false
   std::uint64_t tasks_spawned = 0; // pushes into the storage (from totals)
+  std::uint64_t k_raised = 0;      // policy widenings, summed over places
+  std::uint64_t k_lowered = 0;     // policy narrowings, summed over places
   PlaceStats totals;               // summed per-place storage counters
   std::vector<std::uint64_t> expanded_by_place;
   std::vector<std::uint64_t> wasted_by_place;
+  std::vector<PolicyReport> policy_by_place;  // final window + move counts
 };
 
 /// Per-worker view handed to expand(): the only way a workload spawns
-/// child tasks, so the pending-counter protocol cannot be bypassed.
+/// child tasks, so the pending-counter protocol cannot be bypassed.  The
+/// window is read through a reference the runner updates after every
+/// policy decision — spawns always use the place's current window.
 template <typename Storage>
 class RunnerHandle {
  public:
   using task_type = typename Storage::task_type;
 
-  RunnerHandle(Storage& storage, typename Storage::Place& place, int k,
-               std::atomic<std::int64_t>& pending)
-      : storage_(&storage), place_(&place), k_(k), pending_(&pending) {}
+  RunnerHandle(Storage& storage, typename Storage::Place& place,
+               const int& k, std::atomic<std::int64_t>& pending)
+      : storage_(&storage), place_(&place), k_(&k), pending_(&pending) {}
 
   std::size_t place_index() const { return place_->index; }
 
@@ -63,13 +76,13 @@ class RunnerHandle {
   /// sibling popping the child immediately still sees pending > 0.
   void spawn(task_type task) {
     pending_->fetch_add(1, std::memory_order_relaxed);
-    storage_->push(*place_, k_, task);
+    storage_->push(*place_, *k_, task);
   }
 
  private:
   Storage* storage_;
   typename Storage::Place* place_;
-  int k_;
+  const int* k_;
   std::atomic<std::int64_t>* pending_;
 };
 
@@ -79,8 +92,9 @@ struct NoPopHook {
   void operator()(std::size_t /*place*/, const TaskT& /*task*/) const {}
 };
 
-template <typename Storage, typename ExpandFn, typename PopHook = NoPopHook>
-RunnerResult run_relaxed(Storage& storage, int k,
+template <typename Storage, RelaxationPolicy Policy, typename ExpandFn,
+          typename PopHook = NoPopHook>
+RunnerResult run_relaxed(Storage& storage, const Policy& policy,
                          const std::vector<typename Storage::task_type>& seeds,
                          ExpandFn&& expand, StatsRegistry* stats = nullptr,
                          PopHook&& pop_hook = {}) {
@@ -89,7 +103,26 @@ RunnerResult run_relaxed(Storage& storage, int k,
   RunnerResult result;
   result.expanded_by_place.assign(P, 0);
   result.wasted_by_place.assign(P, 0);
+  result.policy_by_place.assign(P, PolicyReport{});
+
+  // Per-place tallies and controller state live on their own cache lines
+  // during the run; each is written only by its own worker.
+  struct alignas(kCacheLine) Local {
+    std::uint64_t expanded = 0;
+    std::uint64_t wasted = 0;
+    typename Policy::PlaceState pstate;
+    int current_k = 0;
+  };
+  std::vector<Local> locals(P);
+  for (std::size_t p = 0; p < P; ++p) {
+    locals[p].pstate = policy.make_place_state(p);
+    locals[p].current_k = policy.window(locals[p].pstate);
+  }
+
   if (seeds.empty()) {
+    for (std::size_t p = 0; p < P; ++p) {
+      result.policy_by_place[p] = policy.report(locals[p].pstate);
+    }
     result.totals = stats ? stats->total() : PlaceStats{};
     return result;
   }
@@ -99,21 +132,14 @@ RunnerResult run_relaxed(Storage& storage, int k,
   for (std::size_t i = 0; i < seeds.size(); ++i) {
     // Round-robin seeding: multi-seed workloads (DES populations) start
     // spread across places; a single seed lands at place 0 exactly like
-    // the original SSSP loop.
-    storage.push(storage.place(i % P), k, seeds[i]);
+    // the original SSSP loop.  Each seed uses its place's initial window.
+    storage.push(storage.place(i % P), locals[i % P].current_k, seeds[i]);
   }
-
-  // Per-place tallies live on their own cache lines during the run.
-  struct alignas(kCacheLine) Local {
-    std::uint64_t expanded = 0;
-    std::uint64_t wasted = 0;
-  };
-  std::vector<Local> locals(P);
 
   auto worker = [&](std::size_t place_idx) {
     auto& place = storage.place(place_idx);
-    RunnerHandle<Storage> handle(storage, place, k, pending);
     Local& local = locals[place_idx];
+    RunnerHandle<Storage> handle(storage, place, local.current_k, pending);
     int idle_spins = 0;
 
     while (true) {
@@ -129,11 +155,16 @@ RunnerResult run_relaxed(Storage& storage, int k,
       idle_spins = 0;
 
       pop_hook(place_idx, *task);
-      if (expand(handle, *task)) {
+      const bool useful = expand(handle, *task);
+      if (useful) {
         ++local.expanded;
       } else {
         ++local.wasted;
       }
+      // Feed the policy and refresh the window the handle spawns with;
+      // the next pop (and everything it spawns) sees the new k.
+      policy.record(local.pstate, useful);
+      local.current_k = policy.window(local.pstate);
       // Children are spawned; only now may this task stop holding the
       // counter above zero.
       pending.fetch_sub(1, std::memory_order_acq_rel);
@@ -157,10 +188,24 @@ RunnerResult run_relaxed(Storage& storage, int k,
     result.wasted_by_place[p] = locals[p].wasted;
     result.expanded += locals[p].expanded;
     result.wasted += locals[p].wasted;
+    result.policy_by_place[p] = policy.report(locals[p].pstate);
+    result.k_raised += result.policy_by_place[p].k_raised;
+    result.k_lowered += result.policy_by_place[p].k_lowered;
   }
   result.totals = stats ? stats->total() : PlaceStats{};
   result.tasks_spawned = result.totals.get(Counter::tasks_spawned);
   return result;
+}
+
+/// Legacy fixed-window entry point: a plain integer IS the FixedK policy.
+template <typename Storage, typename ExpandFn, typename PopHook = NoPopHook>
+RunnerResult run_relaxed(Storage& storage, int k,
+                         const std::vector<typename Storage::task_type>& seeds,
+                         ExpandFn&& expand, StatsRegistry* stats = nullptr,
+                         PopHook&& pop_hook = {}) {
+  return run_relaxed(storage, FixedK(k), seeds,
+                     std::forward<ExpandFn>(expand), stats,
+                     std::forward<PopHook>(pop_hook));
 }
 
 }  // namespace kps

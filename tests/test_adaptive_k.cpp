@@ -1,0 +1,230 @@
+// Tier-1: the relaxation-policy layer (core/relaxation_policy.hpp).
+//
+//   * FixedK through the policy-threaded runner reproduces the legacy
+//     integer-k path exactly: identical distances AND identical
+//     expanded/wasted/spawned counters on a seeded single-place run
+//     (P = 1 is deterministic, so equality is bit-for-bit);
+//   * the AdaptiveK controller is deterministic in isolation: waste
+//     drives k down to k_min, useful work drives it back to k_max, and
+//     a ratio inside the hysteresis deadband moves nothing;
+//   * end-to-end, AdaptiveK stays within [1, k_max] on every window the
+//     runner ever consults (checked by a wrapper policy on the hot
+//     path) and remains oracle-exact on BnB at P ∈ {1, 8};
+//   * nonsense controller configs are rejected at construction.
+#include <cassert>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "core/relaxation_policy.hpp"
+#include "core/storage_registry.hpp"
+#include "core/task_types.hpp"
+#include "graph/dijkstra.hpp"
+#include "graph/generators.hpp"
+#include "graph/sssp.hpp"
+#include "workloads/bnb.hpp"
+
+namespace {
+
+using namespace kps;
+
+// ------------------------------------------------ FixedK == legacy
+
+void test_fixed_k_matches_legacy() {
+  const Graph g = erdos_renyi(250, 0.08, 11);
+  const std::vector<double> truth = dijkstra(g, 0).dist;
+  for (const char* name : {"hybrid", "centralized"}) {
+    for (int k : {1, 64, 512}) {
+      StorageConfig cfg;
+      cfg.k_max = k;
+      cfg.default_k = k;
+      cfg.seed = 5;
+
+      StatsRegistry stats_int(1);
+      auto s_int = make_storage<SsspTask>(name, 1, cfg, &stats_int);
+      const SsspResult via_int = parallel_sssp(g, 0, s_int, k, &stats_int);
+
+      StatsRegistry stats_pol(1);
+      auto s_pol = make_storage<SsspTask>(name, 1, cfg, &stats_pol);
+      const SsspResult via_policy =
+          parallel_sssp(g, 0, s_pol, FixedK(k), &stats_pol);
+
+      assert(via_int.dist == truth && via_policy.dist == truth);
+      assert(via_int.nodes_relaxed == via_policy.nodes_relaxed);
+      assert(via_int.tasks_wasted == via_policy.tasks_wasted);
+      assert(via_int.tasks_spawned == via_policy.tasks_spawned);
+      assert(via_policy.k_raised == 0 && via_policy.k_lowered == 0);
+    }
+  }
+  std::printf("  FixedK == legacy integer path (P=1, bit-for-bit)\n");
+}
+
+// ------------------------------------------- controller unit tests
+
+void test_controller_dynamics() {
+  AdaptiveKConfig acfg;
+  acfg.k_min = 1;
+  acfg.k_max = 64;
+  acfg.k_start = 64;
+  acfg.interval = 10;
+  acfg.lower_above = 0.25;
+  acfg.raise_below = 0.05;
+  acfg.persistence = 1;   // immediate moves: test the thresholds alone
+  acfg.ewma_alpha = 1.0;  // raw interval ratios: no smoothing lag
+  const AdaptiveK pol(acfg);
+
+  auto st = pol.make_place_state(0);
+  assert(pol.window(st) == 64);
+
+  // Pure waste: each full interval halves the window until k_min.
+  for (int i = 0; i < 100; ++i) pol.record(st, false);
+  assert(pol.window(st) == 1);
+  assert(pol.report(st).k_lowered == 6);  // 64→32→16→8→4→2→1
+
+  // Pure useful work: doubles back up to k_max, never beyond.
+  for (int i = 0; i < 100; ++i) pol.record(st, true);
+  assert(pol.window(st) == 64);
+  assert(pol.report(st).k_raised == 6);
+
+  // Hysteresis deadband: a 10% waste ratio sits between raise_below
+  // (5%) and lower_above (25%) — the window must not move.
+  const PolicyReport before = pol.report(st);
+  for (int round = 0; round < 10; ++round) {
+    pol.record(st, false);
+    for (int i = 0; i < 9; ++i) pol.record(st, true);
+  }
+  const PolicyReport after = pol.report(st);
+  assert(after.k == before.k);
+  assert(after.k_raised == before.k_raised);
+  assert(after.k_lowered == before.k_lowered);
+
+  // Persistence stage: with persistence = 2, a lone waste burst whose
+  // next interval falls back into the deadband must never move k —
+  // the streak is broken before it reaches the required length.
+  AdaptiveKConfig pcfg = acfg;
+  pcfg.persistence = 2;
+  const AdaptiveK ppol(pcfg);
+  auto pst = ppol.make_place_state(0);
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 10; ++i) ppol.record(pst, false);  // burst
+    // Deadband interval (10% waste) resets the streak.
+    ppol.record(pst, false);
+    for (int i = 0; i < 9; ++i) ppol.record(pst, true);
+  }
+  assert(ppol.window(pst) == 64);
+  assert(ppol.report(pst).k_lowered == 0);
+  // Two CONSECUTIVE waste intervals do move it.
+  for (int i = 0; i < 20; ++i) ppol.record(pst, false);
+  assert(ppol.window(pst) == 32);
+  assert(ppol.report(pst).k_lowered == 1);
+
+  std::printf("  AdaptiveK dynamics: halve on waste, double on quiet, "
+              "hold in deadband, ignore lone bursts\n");
+}
+
+void test_bad_controller_configs() {
+  auto rejects = [](AdaptiveKConfig acfg) {
+    try {
+      AdaptiveK pol(acfg);
+      (void)pol;
+    } catch (const std::invalid_argument&) {
+      return true;
+    }
+    return false;
+  };
+  AdaptiveKConfig bad_min;
+  bad_min.k_min = 0;
+  assert(rejects(bad_min));
+  AdaptiveKConfig bad_range;
+  bad_range.k_min = 8;
+  bad_range.k_max = 4;
+  assert(rejects(bad_range));
+  AdaptiveKConfig bad_interval;
+  bad_interval.interval = 0;
+  assert(rejects(bad_interval));
+  AdaptiveKConfig bad_thresholds;
+  bad_thresholds.raise_below = 0.5;
+  bad_thresholds.lower_above = 0.1;
+  assert(rejects(bad_thresholds));
+  AdaptiveKConfig bad_persistence;
+  bad_persistence.persistence = 0;
+  assert(rejects(bad_persistence));
+  AdaptiveKConfig bad_alpha;
+  bad_alpha.ewma_alpha = 0.0;
+  assert(rejects(bad_alpha));
+  AdaptiveKConfig bad_alpha2;
+  bad_alpha2.ewma_alpha = 1.5;
+  assert(rejects(bad_alpha2));
+  std::printf("  AdaptiveK config validation: nonsense rejected\n");
+}
+
+// ------------------------------- end-to-end bounds + oracle checks
+
+/// Forwarding policy that asserts every window the runner consults is
+/// inside [k_min, k_max] — on the hot path, not just at the end.
+struct BoundsChecked {
+  AdaptiveK inner;
+  int k_min;
+  int k_max;
+
+  using PlaceState = AdaptiveK::PlaceState;
+  PlaceState make_place_state(std::size_t p) const {
+    return inner.make_place_state(p);
+  }
+  int window(const PlaceState& s) const {
+    const int k = inner.window(s);
+    assert(k >= k_min && k <= k_max);
+    return k;
+  }
+  void record(PlaceState& s, bool useful) const { inner.record(s, useful); }
+  PolicyReport report(const PlaceState& s) const { return inner.report(s); }
+};
+
+static_assert(RelaxationPolicy<BoundsChecked>);
+
+void test_adaptive_bnb_exact_and_bounded() {
+  const KnapsackInstance inst = knapsack_instance(20, 9);
+  const std::uint64_t oracle = knapsack_dp(inst);
+  assert(oracle > 0);
+
+  const int k_max = 256;
+  AdaptiveKConfig acfg;
+  acfg.k_max = k_max;
+  acfg.interval = 32;  // small interval: force plenty of decisions
+
+  for (const char* name : {"hybrid", "centralized"}) {
+    for (std::size_t P : {1, 8}) {
+      StorageConfig cfg;
+      cfg.k_max = k_max;
+      cfg.default_k = k_max;
+      cfg.seed = P;
+      StatsRegistry stats(P);
+      auto storage = make_storage<BnbTask>(name, P, cfg, &stats);
+      const BoundsChecked pol{AdaptiveK(acfg), 1, k_max};
+      const BnbRun run = bnb_parallel(inst, storage, pol, &stats);
+      assert(run.best_profit == oracle);
+      assert(run.runner.policy_by_place.size() == P);
+      std::uint64_t raised = 0, lowered = 0;
+      for (const PolicyReport& r : run.runner.policy_by_place) {
+        assert(r.k >= 1 && r.k <= k_max);
+        raised += r.k_raised;
+        lowered += r.k_lowered;
+      }
+      assert(raised == run.runner.k_raised);
+      assert(lowered == run.runner.k_lowered);
+    }
+  }
+  std::printf("  AdaptiveK on BnB: oracle-exact and window-bounded at "
+              "P in {1,8}\n");
+}
+
+}  // namespace
+
+int main() {
+  test_fixed_k_matches_legacy();
+  test_controller_dynamics();
+  test_bad_controller_configs();
+  test_adaptive_bnb_exact_and_bounded();
+  std::printf("test_adaptive_k: OK\n");
+  return 0;
+}

@@ -2,18 +2,16 @@
 // exactly equal to sequential Dijkstra — relaxed pop order may cost
 // wasted work, never correctness.  5 seeded graphs, P ∈ {1, 4, 8},
 // k ∈ {1, 64, 1024} (k > 0 also covers the hybrid's publish-every-push
-// mode via k = 1).
+// mode via k = 1).  Every storage is built through the registry facade
+// (AnyStorage), the same path the benches use since PR 4 — so this suite
+// also guards the facade's forwarding, not just the storages.
 #include <cassert>
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "core/centralized_kpq.hpp"
-#include "core/global_pq.hpp"
-#include "core/hybrid_kpq.hpp"
-#include "core/multiqueue.hpp"
+#include "core/storage_registry.hpp"
 #include "core/task_types.hpp"
-#include "core/ws_deque_pool.hpp"
-#include "core/ws_priority.hpp"
 #include "graph/dijkstra.hpp"
 #include "graph/generators.hpp"
 #include "graph/sssp.hpp"
@@ -22,23 +20,20 @@ namespace {
 
 using namespace kps;
 
-static_assert(TaskStorage<HybridKpq<SsspTask>>);
-static_assert(TaskStorage<CentralizedKpq<SsspTask>>);
-static_assert(TaskStorage<GlobalLockedPq<SsspTask>>);
-static_assert(TaskStorage<MultiQueuePool<SsspTask>>);
-static_assert(TaskStorage<WsPriorityPool<SsspTask>>);
-static_assert(TaskStorage<WsDequePool<SsspTask>>);
-
-template <typename Storage>
-void check(const char* name, const Graph& g,
+/// `name` selects the storage in the registry; `label` (default: the
+/// name) is what a failing assertion prints, so config variants stay
+/// identifiable in CI logs ("hybrid/nospy", not just "hybrid").
+void check(const std::string& name, const Graph& g,
            const std::vector<double>& truth, std::size_t P, int k,
-           std::uint64_t seed, StorageConfig extra = {}) {
+           std::uint64_t seed, StorageConfig extra = {},
+           const char* label = nullptr) {
+  if (!label) label = name.c_str();
   StorageConfig cfg = extra;
   cfg.k_max = k;
   cfg.default_k = k;
   cfg.seed = seed;
   StatsRegistry stats(P);
-  Storage storage(P, cfg, &stats);
+  AnyStorage<SsspTask> storage = make_storage<SsspTask>(name, P, cfg, &stats);
   const SsspResult r = parallel_sssp(g, 0, storage, k, &stats);
 
   assert(r.dist.size() == truth.size());
@@ -46,7 +41,7 @@ void check(const char* name, const Graph& g,
     if (r.dist[v] != truth[v]) {
       std::fprintf(stderr,
                    "%s P=%zu k=%d: dist[%zu] = %.17g, dijkstra says %.17g\n",
-                   name, P, k, v, r.dist[v], truth[v]);
+                   label, P, k, v, r.dist[v], truth[v]);
       assert(false);
     }
   }
@@ -59,6 +54,12 @@ void check(const char* name, const Graph& g,
 
 int main() {
   const std::size_t kPlaces[] = {1, 4, 8};
+  // The k-sensitive storages ride the full k sweep; the k-blind
+  // baselines (strict global queue, classic work-stealing deque) cover
+  // one point per P to keep runtime sane.
+  const char* swept[] = {"hybrid", "centralized", "multiqueue",
+                         "ws_priority"};
+  const char* singles[] = {"ws_deque", "global_pq"};
 
   for (std::uint64_t graph_seed = 1; graph_seed <= 5; ++graph_seed) {
     // Alternate density so both the sparse and dense regimes are covered.
@@ -69,47 +70,39 @@ int main() {
 
     for (std::size_t P : kPlaces) {
       for (int k : {1, 64, 1024}) {
-        check<HybridKpq<SsspTask>>("hybrid", g, truth, P, k, graph_seed);
-        check<CentralizedKpq<SsspTask>>("centralized", g, truth, P, k,
-                                        graph_seed);
-        check<MultiQueuePool<SsspTask>>("multiqueue", g, truth, P, k,
-                                        graph_seed);
-        check<WsPriorityPool<SsspTask>>("ws_priority", g, truth, P, k,
-                                        graph_seed);
+        for (const char* name : swept) check(name, g, truth, P, k, graph_seed);
       }
       // Config variants ride one (P, k) point each to keep runtime sane.
       {
+        for (const char* name : singles) {
+          check(name, g, truth, P, 64, graph_seed);
+        }
         StorageConfig no_spy;
         no_spy.enable_spying = false;
-        check<HybridKpq<SsspTask>>("hybrid/nospy", g, truth, P, 64,
-                                   graph_seed, no_spy);
+        check("hybrid", g, truth, P, 64, graph_seed, no_spy, "hybrid/nospy");
         StorageConfig structural;
         structural.structural_relaxation = true;
-        check<HybridKpq<SsspTask>>("hybrid/structural", g, truth, P, 64,
-                                   graph_seed, structural);
+        check("hybrid", g, truth, P, 64, graph_seed, structural,
+              "hybrid/structural");
         StorageConfig linear;
         linear.randomize_placement = false;
-        check<CentralizedKpq<SsspTask>>("centralized/linear", g, truth, P, 64,
-                                        graph_seed, linear);
+        check("centralized", g, truth, P, 64, graph_seed, linear,
+              "centralized/linear");
         StorageConfig no_summary;
         no_summary.occupancy_summary = false;
-        check<CentralizedKpq<SsspTask>>("centralized/nosummary", g, truth, P,
-                                        64, graph_seed, no_summary);
+        check("centralized", g, truth, P, 64, graph_seed, no_summary,
+              "centralized/nosummary");
         // Batched publish (A10): per-task, mid, and larger-than-k batches
         // must all be invisible to correctness.
         for (int batch : {1, 16, 256}) {
           StorageConfig bcfg;
           bcfg.publish_batch = batch;
-          check<HybridKpq<SsspTask>>("hybrid/batch", g, truth, P, 64,
-                                     graph_seed, bcfg);
+          check("hybrid", g, truth, P, 64, graph_seed, bcfg, "hybrid/batch");
         }
         StorageConfig steal_one;
         steal_one.steal_half = false;
-        check<WsPriorityPool<SsspTask>>("ws_priority/steal1", g, truth, P, 64,
-                                        graph_seed, steal_one);
-        check<WsDequePool<SsspTask>>("ws_deque", g, truth, P, 64, graph_seed);
-        check<GlobalLockedPq<SsspTask>>("global_pq", g, truth, P, 64,
-                                        graph_seed);
+        check("ws_priority", g, truth, P, 64, graph_seed, steal_one,
+              "ws_priority/steal1");
       }
     }
   }

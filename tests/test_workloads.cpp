@@ -1,22 +1,23 @@
 // Tier-1: the three PR-3 workloads (DES, branch-and-bound, A*) must
-// reproduce their sequential oracles EXACTLY under every storage at
-// P ∈ {1, 4, 8} — including HybridKpq at publish_batch ∈ {1, 64} and
-// with the segment-spill policy forced on hard (max_segments = 2).
-// Relaxed pop order may cost deferrals / pruned pops / re-expansions,
-// never results.  Also holds a deterministic unit check for the
-// segment-store spill itself (conservation + spill counter).
+// reproduce their sequential oracles EXACTLY under every registered
+// storage at P ∈ {1, 4, 8} — including HybridKpq at publish_batch ∈
+// {1, 64} and with the segment-spill policy forced on hard
+// (max_segments = 2).  Relaxed pop order may cost deferrals / pruned
+// pops / re-expansions, never results.  Storages are built through the
+// registry facade — the checks iterate kStorageNames, so a storage added
+// to the registry is swept here automatically.  Also holds a
+// deterministic unit check for the segment-store spill itself
+// (conservation + spill counter).
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <optional>
+#include <string>
 #include <vector>
 
-#include "core/centralized_kpq.hpp"
-#include "core/global_pq.hpp"
 #include "core/hybrid_kpq.hpp"
-#include "core/multiqueue.hpp"
+#include "core/storage_registry.hpp"
 #include "core/task_types.hpp"
-#include "core/ws_deque_pool.hpp"
-#include "core/ws_priority.hpp"
 #include "workloads/astar.hpp"
 #include "workloads/bnb.hpp"
 #include "workloads/des.hpp"
@@ -26,29 +27,25 @@ namespace {
 
 using namespace kps;
 
-static_assert(TaskStorage<HybridKpq<DesTask>>);
-static_assert(TaskStorage<CentralizedKpq<BnbTask>>);
-static_assert(TaskStorage<MultiQueuePool<AstarTask>>);
-
-template <typename TaskT, template <typename> class StorageT>
-StorageT<TaskT> make_storage(std::size_t P, int k, std::uint64_t seed,
-                             StatsRegistry& stats, StorageConfig extra) {
+template <typename TaskT>
+AnyStorage<TaskT> named_storage(const std::string& name, std::size_t P,
+                                int k, std::uint64_t seed,
+                                StatsRegistry& stats, StorageConfig extra) {
   StorageConfig cfg = extra;
   cfg.k_max = k;
   cfg.default_k = k;
   cfg.seed = seed;
-  return StorageT<TaskT>(P, cfg, &stats);
+  return make_storage<TaskT>(name, P, cfg, &stats);
 }
 
 // ----------------------------------------------------------------- DES
 
-template <template <typename> class StorageT>
-void check_des(const char* name, const DesParams& params,
-               const DesOutcome& oracle, std::size_t P, int k,
-               StorageConfig extra = {}) {
+void check_des(const std::string& label, const std::string& name,
+               const DesParams& params, const DesOutcome& oracle,
+               std::size_t P, int k, StorageConfig extra = {}) {
   StatsRegistry stats(P);
   auto storage =
-      make_storage<DesTask, StorageT>(P, k, params.seed, stats, extra);
+      named_storage<DesTask>(name, P, k, params.seed, stats, extra);
   // Runner pop-hook contract: fires exactly once per claimed task.
   std::atomic<std::uint64_t> hook_pops{0};
   auto hook = [&](std::size_t, const DesTask&) {
@@ -59,7 +56,7 @@ void check_des(const char* name, const DesParams& params,
     std::fprintf(stderr,
                  "des/%s P=%zu k=%d: events=%llu (oracle %llu), "
                  "checksum=%llx (oracle %llx)\n",
-                 name, P, k,
+                 label.c_str(), P, k,
                  static_cast<unsigned long long>(run.outcome.events),
                  static_cast<unsigned long long>(oracle.events),
                  static_cast<unsigned long long>(run.outcome.checksum),
@@ -74,17 +71,17 @@ void check_des(const char* name, const DesParams& params,
 
 // ----------------------------------------------------------------- BnB
 
-template <template <typename> class StorageT>
-void check_bnb(const char* name, const KnapsackInstance& inst,
-               std::uint64_t oracle, std::size_t P, int k,
-               std::uint64_t seed, StorageConfig extra = {}) {
+void check_bnb(const std::string& label, const std::string& name,
+               const KnapsackInstance& inst, std::uint64_t oracle,
+               std::size_t P, int k, std::uint64_t seed,
+               StorageConfig extra = {}) {
   StatsRegistry stats(P);
-  auto storage = make_storage<BnbTask, StorageT>(P, k, seed, stats, extra);
+  auto storage = named_storage<BnbTask>(name, P, k, seed, stats, extra);
   const BnbRun run = bnb_parallel(inst, storage, k, &stats);
   if (run.best_profit != oracle) {
     std::fprintf(stderr,
                  "bnb/%s P=%zu k=%d: best=%llu, dp oracle says %llu\n",
-                 name, P, k,
+                 label.c_str(), P, k,
                  static_cast<unsigned long long>(run.best_profit),
                  static_cast<unsigned long long>(oracle));
     assert(false);
@@ -94,48 +91,42 @@ void check_bnb(const char* name, const KnapsackInstance& inst,
 
 // ------------------------------------------------------------------ A*
 
-template <template <typename> class StorageT>
-void check_astar(const char* name, const GridMaze& maze,
-                 std::uint32_t oracle, std::size_t P, int k,
-                 std::uint64_t seed, StorageConfig extra = {}) {
+void check_astar(const std::string& label, const std::string& name,
+                 const GridMaze& maze, std::uint32_t oracle, std::size_t P,
+                 int k, std::uint64_t seed, StorageConfig extra = {}) {
   StatsRegistry stats(P);
-  auto storage =
-      make_storage<AstarTask, StorageT>(P, k, seed, stats, extra);
+  auto storage = named_storage<AstarTask>(name, P, k, seed, stats, extra);
   const AstarRun run = astar_parallel(maze, storage, k, &stats);
   if (run.goal_dist != oracle) {
     std::fprintf(stderr, "astar/%s P=%zu k=%d: dist=%u, bfs says %u\n",
-                 name, P, k, run.goal_dist, oracle);
+                 label.c_str(), P, k, run.goal_dist, oracle);
     assert(false);
   }
   assert(run.expanded >= 1);
 }
 
-/// Every storage (plus the hybrid's acceptance configs) on one
-/// workload instance at one (P, k) point.
+/// Every registered storage (plus the hybrid's acceptance configs) on
+/// one workload instance at one (P, k) point.
+/// check_one(label, registry_name, extra): `label` is the diagnostic
+/// tag a failure prints (config variants stay identifiable in CI logs),
+/// `registry_name` is what make_storage resolves.
 template <typename CheckFn>
 void all_storages(CheckFn&& check_one) {
-  check_one.template operator()<HybridKpq>("hybrid", StorageConfig{});
-  check_one.template operator()<CentralizedKpq>("centralized",
-                                                StorageConfig{});
-  check_one.template operator()<GlobalLockedPq>("global_pq",
-                                                StorageConfig{});
-  check_one.template operator()<MultiQueuePool>("multiqueue",
-                                                StorageConfig{});
-  check_one.template operator()<WsPriorityPool>("ws_priority",
-                                                StorageConfig{});
-  check_one.template operator()<WsDequePool>("ws_deque", StorageConfig{});
+  for (const std::string_view name : kStorageNames) {
+    check_one(std::string(name), std::string(name), StorageConfig{});
+  }
   // Acceptance: hybrid must stay exact at publish_batch 1 and 64, and
   // with the spill policy triggering constantly.
   StorageConfig batch1;
   batch1.publish_batch = 1;
-  check_one.template operator()<HybridKpq>("hybrid/batch1", batch1);
+  check_one("hybrid/batch1", "hybrid", batch1);
   StorageConfig batch64;
   batch64.publish_batch = 64;
-  check_one.template operator()<HybridKpq>("hybrid/batch64", batch64);
+  check_one("hybrid/batch64", "hybrid", batch64);
   StorageConfig spill;
   spill.publish_batch = 2;
   spill.max_segments = 2;
-  check_one.template operator()<HybridKpq>("hybrid/spill", spill);
+  check_one("hybrid/spill", "hybrid", spill);
 }
 
 // ----------------------------------------- segment-spill unit check
@@ -146,7 +137,8 @@ void all_storages(CheckFn&& check_one) {
 /// and spill.  Afterwards every task must come back out exactly once
 /// (conservation across heap + segments), in globally sorted order at
 /// P = 1 (private tier empty, single shard: pop always takes the true
-/// shard minimum).
+/// shard minimum).  Uses the concrete type: this is a unit test of
+/// HybridKpq's spill mechanics, not of the facade.
 void test_segment_spill_unit() {
   StorageConfig cfg;
   cfg.k_max = 8;
@@ -198,9 +190,9 @@ int main() {
     const DesOutcome oracle = des_sequential(params);
     assert(oracle.events > params.chains);  // chains actually advanced
     for (std::size_t P : kPlaces) {
-      all_storages([&]<template <typename> class S>(const char* name,
-                                                    StorageConfig extra) {
-        check_des<S>(name, params, oracle, P, k, extra);
+      all_storages([&](const std::string& label, const std::string& name,
+                       StorageConfig extra) {
+        check_des(label, name, params, oracle, P, k, extra);
       });
     }
   }
@@ -212,9 +204,9 @@ int main() {
     const std::uint64_t oracle = knapsack_dp(inst);
     assert(oracle > 0);
     for (std::size_t P : kPlaces) {
-      all_storages([&]<template <typename> class S>(const char* name,
-                                                    StorageConfig extra) {
-        check_bnb<S>(name, inst, oracle, P, k, seed, extra);
+      all_storages([&](const std::string& label, const std::string& name,
+                       StorageConfig extra) {
+        check_bnb(label, name, inst, oracle, P, k, seed, extra);
       });
     }
   }
@@ -227,10 +219,10 @@ int main() {
     const GridMaze dense_maze = grid_maze(32, 32, 0.5, 9);
     const std::uint32_t dense_dist = grid_bfs_dist(dense_maze);
     for (std::size_t P : kPlaces) {
-      all_storages([&]<template <typename> class S>(const char* name,
-                                                    StorageConfig extra) {
-        check_astar<S>(name, open_maze, open_dist, P, k, 1, extra);
-        check_astar<S>(name, dense_maze, dense_dist, P, k, 2, extra);
+      all_storages([&](const std::string& label, const std::string& name,
+                       StorageConfig extra) {
+        check_astar(label, name, open_maze, open_dist, P, k, 1, extra);
+        check_astar(label, name, dense_maze, dense_dist, P, k, 2, extra);
       });
     }
   }

@@ -1,24 +1,22 @@
 // Baseline recorder: one JSON document comparing parallel-SSSP wall time
-// and wasted work across every storage, at fixed (n, p, P, k) — plus,
-// since PR 3, one row per storage for each non-SSSP workload (DES,
-// branch-and-bound knapsack, A*), each verified against its sequential
-// oracle inline ("exact": true must hold in every committed baseline).
+// and wasted work across every storage, at fixed (n, p, P, k) — plus one
+// row per storage for each non-SSSP workload (DES, branch-and-bound
+// knapsack, A*), each verified against its sequential oracle inline
+// ("exact": true must hold in every committed baseline).  Since PR 4 the
+// storages are built through the registry facade (no template ladders)
+// and every workload block carries AdaptiveK rows for the k-sensitive
+// storages, with the controller's raise/lower counts recorded.
 //
-//   ./build/tools/bench_baseline --n 2000 --P 8 --k 1024 > BENCH_pr3.json
+//   ./build/tools/bench_baseline --n 2000 --P 8 --k 1024 > BENCH_pr4.json
 //
 // The per-PR BENCH_*.json trajectory is measured with this tool so later
 // perf PRs are judged against identical methodology.
 #include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
-#include "core/centralized_kpq.hpp"
-#include "core/global_pq.hpp"
-#include "core/hybrid_kpq.hpp"
-#include "core/multiqueue.hpp"
-#include "core/ws_deque_pool.hpp"
-#include "core/ws_priority.hpp"
 #include "workloads/astar.hpp"
 #include "workloads/bnb.hpp"
 #include "workloads/des.hpp"
@@ -27,12 +25,23 @@ namespace {
 using namespace kps;
 using namespace kps::bench;
 
-template <typename Storage>
-SsspAggregate measure(const std::vector<Graph>& graphs, std::size_t P,
-                      int k, StorageConfig extra = {}) {
+/// Registry name -> legacy JSON key (the BENCH_*.json trajectory keeps
+/// its PR-1 row names so baselines stay diffable across PRs).
+struct NamedStorage {
+  const char* registry;
+  const char* json;
+};
+constexpr NamedStorage kBaselineStorages[] = {
+    {"global_pq", "global_pq"},   {"centralized", "centralized_kpq"},
+    {"hybrid", "hybrid_kpq"},     {"multiqueue", "multiqueue"},
+    {"ws_priority", "ws_priority"}, {"ws_deque", "ws_deque"},
+};
+
+SsspAggregate measure(const char* storage, const std::vector<Graph>& graphs,
+                      std::size_t P, int k, StorageConfig extra = {}) {
   SsspAggregate agg;
   for (std::size_t g = 0; g < graphs.size(); ++g) {
-    run_sssp<Storage>(graphs[g], P, k, 100 * g + 1, agg, extra);
+    run_sssp(storage, graphs[g], P, k, 100 * g + 1, agg, extra);
   }
   return agg;
 }
@@ -45,59 +54,65 @@ void emit(const char* name, const SsspAggregate& a, bool last) {
       a.tasks_spawned.mean(), last ? "" : ",");
 }
 
-// ------------------------------------------------- PR-3 workload rows
+// --------------------------------------------------- workload rows
 
 struct WorkloadRow {
   double seconds = 0;
   std::uint64_t expanded = 0;
   std::uint64_t wasted = 0;
   bool exact = false;
+  // Populated on adaptive rows only.
+  std::uint64_t k_raised = 0;
+  std::uint64_t k_lowered = 0;
 };
 
-void emit_workload(const char* name, const WorkloadRow& r, bool last) {
+void emit_workload(const std::string& name, const WorkloadRow& r,
+                   bool adaptive, bool last) {
   std::printf("    \"%s\": {\"time_s\": %.6f, \"expanded\": %llu, "
-              "\"wasted\": %llu, \"exact\": %s}%s\n",
-              name, r.seconds,
+              "\"wasted\": %llu, \"exact\": %s",
+              name.c_str(), r.seconds,
               static_cast<unsigned long long>(r.expanded),
               static_cast<unsigned long long>(r.wasted),
-              r.exact ? "true" : "false", last ? "" : ",");
+              r.exact ? "true" : "false");
+  if (adaptive) {
+    std::printf(", \"k_raised\": %llu, \"k_lowered\": %llu",
+                static_cast<unsigned long long>(r.k_raised),
+                static_cast<unsigned long long>(r.k_lowered));
+  }
+  std::printf("}%s\n", last ? "" : ",");
 }
 
-template <typename TaskT, template <typename> class StorageT, typename Fn>
-WorkloadRow workload_row(std::size_t P, int k, std::uint64_t seed,
-                         Fn&& run_one) {
-  StorageConfig cfg;
-  cfg.k_max = k;
-  cfg.default_k = k;
-  cfg.seed = seed;
-  StatsRegistry stats(P);
-  StorageT<TaskT> storage(P, cfg, &stats);
-  return run_one(storage, stats);
-}
-
-/// One `"workload": {six storage rows}` JSON object.  `run_one` measures
-/// a single storage and reports exactness against the oracle computed by
-/// the caller.
+/// One `"workload": {...}` JSON object: six fixed-k storage rows plus
+/// AdaptiveK rows for the k-sensitive storages.  `run_one` measures a
+/// single (storage, k-policy) pair and reports exactness against the
+/// oracle computed by the caller.
 template <typename TaskT, typename Fn>
 void emit_workload_block(const char* workload, std::size_t P, int k,
                          Fn&& run_one, bool last) {
+  const auto row = [&](const char* registry, auto k_policy) {
+    StorageConfig cfg;
+    cfg.k_max = k;
+    cfg.default_k = k;
+    cfg.seed = 1;
+    StatsRegistry stats(P);
+    AnyStorage<TaskT> storage =
+        make_storage<TaskT>(registry, P, cfg, &stats);
+    return run_one(storage, stats, k_policy);
+  };
+  const auto adaptive = [&] {
+    AdaptiveKConfig acfg;
+    acfg.k_max = k;
+    return AdaptiveK(acfg);
+  }();
+
   std::printf("  \"%s\": {\n", workload);
-  emit_workload("global_pq",
-                workload_row<TaskT, GlobalLockedPq>(P, k, 1, run_one),
+  for (const NamedStorage& s : kBaselineStorages) {
+    emit_workload(s.json, row(s.registry, k), false, false);
+  }
+  emit_workload("hybrid_kpq_adaptive", row("hybrid", adaptive), true,
                 false);
-  emit_workload("centralized_kpq",
-                workload_row<TaskT, CentralizedKpq>(P, k, 1, run_one),
-                false);
-  emit_workload("hybrid_kpq",
-                workload_row<TaskT, HybridKpq>(P, k, 1, run_one), false);
-  emit_workload("multiqueue",
-                workload_row<TaskT, MultiQueuePool>(P, k, 1, run_one),
-                false);
-  emit_workload("ws_priority",
-                workload_row<TaskT, WsPriorityPool>(P, k, 1, run_one),
-                false);
-  emit_workload("ws_deque",
-                workload_row<TaskT, WsDequePool>(P, k, 1, run_one), true);
+  emit_workload("centralized_kpq_adaptive", row("centralized", adaptive),
+                true, true);
   std::printf("  }%s\n", last ? "" : ",");
 }
 
@@ -131,21 +146,21 @@ int main(int argc, char** argv) {
     seq.nodes_relaxed.add(static_cast<double>(r.relaxations));
   }
 
-  const auto global_pq = measure<GlobalLockedPq<SsspTask>>(graphs, P, k);
-  const auto central = measure<CentralizedKpq<SsspTask>>(graphs, P, k);
-  const auto hybrid = measure<HybridKpq<SsspTask>>(graphs, P, k);
-  const auto multiq = measure<MultiQueuePool<SsspTask>>(graphs, P, k);
-  const auto ws_prio = measure<WsPriorityPool<SsspTask>>(graphs, P, k);
-  const auto ws_deque = measure<WsDequePool<SsspTask>>(graphs, P, k);
-  // PR-2 ablation rows: the two new hot-path mechanisms, toggled off, so
+  const auto global_pq = measure("global_pq", graphs, P, k);
+  const auto central = measure("centralized", graphs, P, k);
+  const auto hybrid = measure("hybrid", graphs, P, k);
+  const auto multiq = measure("multiqueue", graphs, P, k);
+  const auto ws_prio = measure("ws_priority", graphs, P, k);
+  const auto ws_deque = measure("ws_deque", graphs, P, k);
+  // PR-2 ablation rows: the two hot-path mechanisms, toggled off, so
   // the per-PR trajectory records both sides of each change.
   StorageConfig batch1;
   batch1.publish_batch = 1;
-  const auto hybrid_b1 = measure<HybridKpq<SsspTask>>(graphs, P, k, batch1);
+  const auto hybrid_b1 = measure("hybrid", graphs, P, k, batch1);
   StorageConfig linear_scan;
   linear_scan.occupancy_summary = false;
-  const auto central_linear =
-      measure<CentralizedKpq<SsspTask>>(graphs, P, k, linear_scan);
+  const auto central_linear = measure("centralized", graphs, P, k,
+                                      linear_scan);
 
   std::printf("{\n");
   std::printf("  \"workload\": {\"n\": %llu, \"p\": %.2f, \"graphs\": %llu, "
@@ -166,10 +181,52 @@ int main(int argc, char** argv) {
   emit("ws_deque", ws_deque, true);
   std::printf("  },\n");
 
-  // PR-3 workload rows (fig6 methodology, fixed mid-size instances
-  // scaled by --n only through the defaults): every row carries its own
-  // oracle-exactness verdict, so a committed BENCH_*.json doubles as a
-  // correctness witness.
+  // AdaptiveK SSSP rows (PR 4): the controller run end-to-end on the
+  // k-sensitive storages, with an explicit oracle verdict (distances
+  // must equal Dijkstra's) and the controller's move counts.
+  {
+    std::printf("  \"sssp_adaptive\": {\n");
+    // One oracle per graph, shared by both storages' rows.
+    std::vector<std::vector<double>> truths;
+    truths.reserve(graphs.size());
+    for (const Graph& graph : graphs) {
+      truths.push_back(dijkstra(graph, 0).dist);
+    }
+    const char* names[] = {"hybrid", "centralized"};
+    const char* json_names[] = {"hybrid_kpq_adaptive",
+                                "centralized_kpq_adaptive"};
+    for (int s = 0; s < 2; ++s) {
+      WorkloadRow r;
+      r.exact = true;
+      Mean seconds;
+      for (std::size_t g = 0; g < graphs.size(); ++g) {
+        StorageConfig cfg;
+        cfg.k_max = k;
+        cfg.default_k = k;
+        cfg.seed = 100 * g + 1;
+        AdaptiveKConfig acfg;
+        acfg.k_max = k;
+        StatsRegistry stats(P);
+        auto storage =
+            make_storage<SsspTask>(names[s], P, cfg, &stats);
+        const SsspResult run =
+            parallel_sssp(graphs[g], 0, storage, AdaptiveK(acfg), &stats);
+        r.exact = r.exact && run.dist == truths[g];
+        seconds.add(run.seconds);
+        r.expanded += run.nodes_relaxed;
+        r.wasted += run.tasks_wasted;
+        r.k_raised += run.k_raised;
+        r.k_lowered += run.k_lowered;
+      }
+      r.seconds = seconds.mean();
+      emit_workload(json_names[s], r, true, s == 1);
+    }
+    std::printf("  },\n");
+  }
+
+  // Workload rows (fig6/fig7 methodology, fixed mid-size instances):
+  // every row carries its own oracle-exactness verdict, so a committed
+  // BENCH_*.json doubles as a correctness witness.
   {
     DesParams dp;
     dp.chains = 192;
@@ -179,10 +236,13 @@ int main(int argc, char** argv) {
     const DesOutcome des_oracle = des_sequential(dp);
     emit_workload_block<DesTask>(
         "des", P, k,
-        [&](auto& storage, StatsRegistry& stats) {
-          const DesRun r = des_parallel(dp, storage, k, &stats);
-          return WorkloadRow{r.runner.seconds, r.outcome.events,
-                             r.deferred, r.outcome == des_oracle};
+        [&](auto& storage, StatsRegistry& stats, auto k_policy) {
+          const DesRun r = des_parallel(dp, storage, k_policy, &stats);
+          WorkloadRow row{r.runner.seconds, r.outcome.events, r.deferred,
+                          r.outcome == des_oracle};
+          row.k_raised = r.runner.k_raised;
+          row.k_lowered = r.runner.k_lowered;
+          return row;
         },
         false);
 
@@ -190,10 +250,13 @@ int main(int argc, char** argv) {
     const std::uint64_t dp_opt = knapsack_dp(inst);
     emit_workload_block<BnbTask>(
         "bnb", P, k,
-        [&](auto& storage, StatsRegistry& stats) {
-          const BnbRun r = bnb_parallel(inst, storage, k, &stats);
-          return WorkloadRow{r.runner.seconds, r.expanded, r.pruned,
-                             r.best_profit == dp_opt};
+        [&](auto& storage, StatsRegistry& stats, auto k_policy) {
+          const BnbRun r = bnb_parallel(inst, storage, k_policy, &stats);
+          WorkloadRow row{r.runner.seconds, r.expanded, r.pruned,
+                          r.best_profit == dp_opt};
+          row.k_raised = r.runner.k_raised;
+          row.k_lowered = r.runner.k_lowered;
+          return row;
         },
         false);
 
@@ -201,10 +264,13 @@ int main(int argc, char** argv) {
     const std::uint32_t bfs = grid_bfs_dist(maze);
     emit_workload_block<AstarTask>(
         "astar", P, k,
-        [&](auto& storage, StatsRegistry& stats) {
-          const AstarRun r = astar_parallel(maze, storage, k, &stats);
-          return WorkloadRow{r.runner.seconds, r.expanded, r.wasted,
-                             r.goal_dist == bfs};
+        [&](auto& storage, StatsRegistry& stats, auto k_policy) {
+          const AstarRun r = astar_parallel(maze, storage, k_policy, &stats);
+          WorkloadRow row{r.runner.seconds, r.expanded, r.wasted,
+                          r.goal_dist == bfs};
+          row.k_raised = r.runner.k_raised;
+          row.k_lowered = r.runner.k_lowered;
+          return row;
         },
         false);
   }
