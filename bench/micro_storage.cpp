@@ -67,13 +67,15 @@ void BM_ContendedPushPop(benchmark::State& state) {
 
 // Occupancy-summary scan cost (ISSUE-2 acceptance): k = 4096 window with
 // ~64 live tasks — the sparse large-k regime where fig5's centralized
-// cliff lives.  Arg(0) = PR-1 linear scan, Arg(1) = bitmap summary; the
-// slot_loads_per_pop counter is the machine-independent comparison (the
-// linear scan pays 4096 loads per scan, the summary pays k/64 word loads
-// plus one load per occupied slot).
+// cliff lives.  Arg(0) = PR-1 linear scan, Arg(1) = PR-2 bitmap summary,
+// Arg(2) = PR-5 bitmap + hierarchical min-index; slot_loads_per_pop is
+// the machine-independent comparison (linear pays 4096 loads per scan,
+// the summary pays k/64 word loads plus one load per occupied slot, the
+// min-index descends to one word).
 void BM_CentralPopScan(benchmark::State& state) {
   StorageConfig cfg{.k_max = 4096, .default_k = 4096};
   cfg.occupancy_summary = state.range(0) != 0;
+  cfg.hierarchical_min = state.range(0) == 2;
   StatsRegistry stats(1);
   CentralizedKpq<BenchTask> storage(1, cfg, &stats);
   auto& place = storage.place(0);
@@ -93,6 +95,45 @@ void BM_CentralPopScan(benchmark::State& state) {
       static_cast<double>(total.get(Counter::slot_loads)) / pops;
   state.counters["summary_loads_per_pop"] =
       static_cast<double>(total.get(Counter::summary_loads)) / pops;
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
+}
+
+// Dense-window pop (PR-5 A15 acceptance): k = 4096 with ≥ 2048 occupied
+// slots — the regime where the bitmap stopped helping because a min-scan
+// still visited every occupied slot.  Arg(0) = PR-2 occupied-scan
+// baseline, Arg(1) = hierarchical min-index descent; acceptance is
+// slot_loads_per_pop dropping ≥ 4×.  Also reports the new
+// tree_descents / min_heals counters and the pop_empty / pop_contended
+// failure split (all failures here must be empty-verdicts: one place,
+// no contention).
+void BM_CentralDenseWindow(benchmark::State& state) {
+  StorageConfig cfg{.k_max = 4096, .default_k = 4096};
+  cfg.hierarchical_min = state.range(0) != 0;
+  StatsRegistry stats(1);
+  CentralizedKpq<BenchTask> storage(1, cfg, &stats);
+  auto& place = storage.place(0);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 2560; ++i) {
+    storage.push(place, 4096, {rng.next_unit(), static_cast<std::uint64_t>(i)});
+  }
+  for (auto _ : state) {
+    storage.push(place, 4096, {rng.next_unit(), 0});
+    auto t = storage.pop(place);
+    benchmark::DoNotOptimize(t);
+  }
+  const auto total = stats.total();
+  const double pops =
+      static_cast<double>(total.get(Counter::tasks_executed));
+  state.counters["slot_loads_per_pop"] =
+      static_cast<double>(total.get(Counter::slot_loads)) / pops;
+  state.counters["tree_descents_per_pop"] =
+      static_cast<double>(total.get(Counter::tree_descents)) / pops;
+  state.counters["min_heals_per_pop"] =
+      static_cast<double>(total.get(Counter::min_heals)) / pops;
+  state.counters["pop_empty"] =
+      static_cast<double>(total.get(Counter::pop_empty));
+  state.counters["pop_contended"] =
+      static_cast<double>(total.get(Counter::pop_contended));
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 2);
 }
 
@@ -119,6 +160,7 @@ BENCHMARK_TEMPLATE(BM_ContendedPushPop, WsDeque)->Threads(2)->Threads(4)->UseRea
 BENCHMARK_TEMPLATE(BM_ContendedPushPop, GlobalPq)->Threads(2)->Threads(4)->UseRealTime();
 BENCHMARK_TEMPLATE(BM_ContendedPushPop, MultiQ)->Threads(2)->Threads(4)->UseRealTime();
 
-BENCHMARK(BM_CentralPopScan)->Arg(0)->Arg(1);
+BENCHMARK(BM_CentralPopScan)->Arg(0)->Arg(1)->Arg(2);
+BENCHMARK(BM_CentralDenseWindow)->Arg(0)->Arg(1);
 
 BENCHMARK_MAIN();

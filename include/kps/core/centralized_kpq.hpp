@@ -29,6 +29,21 @@
 //     make a scan miss a task momentarily — pop is allowed to be weakly
 //     complete, and the bit becomes visible on the next attempt.
 //
+// Hierarchical min-index (cfg.hierarchical_min, on by default, PR 5): the
+// bitmap removed empty-slot loads, but a min-scan still visited every
+// *occupied* slot.  With the index on, pop descends a per-word cached-min
+// tree (support/min_index.hpp) straight to the apparently-best word and
+// scans only that word's occupied slots — O(log k + 64) loads instead of
+// O(occupied).  The index is a hint with the same conservative-staleness
+// contract as the bitmap: pushes CAS-min the new priority up the tree,
+// claims recompute the word minimum from the slots and heal the path, and
+// a descent that lands on a stale (empty or claimed-out) word heals it
+// and retries; after kMaxDescents misses pop falls back to the full
+// occupancy scan, so completeness is exactly the bitmap's.  Claiming a
+// word-local best (not the global window best) is within the relaxation
+// contract — only window tasks are bypassed.  Counters: tree_descents,
+// min_heals.
+//
 // Relaxation guarantee: only window tasks can be bypassed, so a pop's rank
 // error is bounded by k regardless of P (ablation A1 measures this).
 #pragma once
@@ -47,9 +62,18 @@
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
 #include "support/epoch.hpp"
+#include "support/min_index.hpp"
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
+
+// Test seam: invoked between pop's overflow_min_ snapshot and the lock
+// acquisition, so the regression test for the stale-snapshot race can
+// force both poppers to hold their snapshots before either locks
+// (test_central_bitmap defines it to a barrier; default is free).
+#ifndef KPS_POP_OVERFLOW_RACE_HOOK
+#define KPS_POP_OVERFLOW_RACE_HOOK() ((void)0)
+#endif
 
 namespace kps {
 
@@ -70,6 +94,8 @@ class CentralizedKpq {
       : cfg_(cfg),
         window_(static_cast<std::size_t>(std::max(cfg.k_max, 1))),
         summary_((window_.size() + 63) / 64),
+        hier_(cfg.hierarchical_min && cfg.occupancy_summary),
+        min_index_(summary_.size()),
         places_(places ? places : 1) {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg, stats);
@@ -123,36 +149,27 @@ class CentralizedKpq {
     // Scan the whole slot array, not default_k: push honors the caller's
     // per-op k, so any slot up to k_max may hold a task.
     const std::size_t window = window_.size();
+    bool saw_empty = false;
     for (int attempt = 0; attempt < 3; ++attempt) {
-      // Best published window node this scan.
+      // Best published window node this scan (with the min-index on:
+      // best node of the apparently-minimal word).
       TaskT* best = nullptr;
       std::size_t best_idx = 0;
-      if (cfg_.occupancy_summary) {
-        std::uint64_t slot_loads = 0;
-        p.counters->inc(Counter::summary_loads, summary_.size());
-        for (std::size_t w = 0; w < summary_.size(); ++w) {
-          std::uint64_t occ = summary_[w].load(std::memory_order_acquire);
-          while (occ) {
-            const std::size_t idx =
-                w * 64 + static_cast<std::size_t>(std::countr_zero(occ));
-            occ &= occ - 1;
-            TaskT* node = window_[idx].load(std::memory_order_acquire);
-            ++slot_loads;
-            if (node) {
-              if (!best || node->priority < best->priority) {
-                best = node;
-                best_idx = idx;
-              }
-            } else {
-              // Stale-set repair: a heal re-set that lost a race with a
-              // second claimer can strand a set bit over an empty slot,
-              // and pushers never probe set bits — without this lazy
-              // clear the window would leak capacity monotonically.
-              clear_bit_healed(idx);
-            }
+      if (hier_) {
+        descend_best(p, &best, &best_idx);
+        // Descents exhausted without a candidate: the tree may be
+        // transiently stale-high (a raise re-check race hid a word), so
+        // completeness falls back to the PR-2 full occupancy scan.
+        if (!best) {
+          scan_summary(p, &best, &best_idx);
+          if (best) {
+            // Repair exactly the word the tree was hiding.
+            min_index_.note_min(best_idx / 64,
+                                static_cast<double>(best->priority));
           }
         }
-        p.counters->inc(Counter::slot_loads, slot_loads);
+      } else if (cfg_.occupancy_summary) {
+        scan_summary(p, &best, &best_idx);
       } else {
         for (std::size_t i = 0; i < window; ++i) {
           TaskT* node = window_[i].load(std::memory_order_acquire);
@@ -166,12 +183,22 @@ class CentralizedKpq {
 
       const double heap_min =
           overflow_min_.load(std::memory_order_acquire);
-      if (!best && heap_min == kEmpty) break;
+      if (!best && heap_min == kEmpty) {
+        saw_empty = true;
+        break;
+      }
 
       if (!best ||
           heap_min < static_cast<double>(best->priority)) {
+        KPS_POP_OVERFLOW_RACE_HOOK();
         overflow_lock_.lock();
-        if (!overflow_.empty()) {
+        // Re-check the pre-lock snapshot under the lock: a racing pop
+        // may have drained the good prefix of the heap, and popping its
+        // NEW top here would return a strictly worse task than the
+        // window node we already hold.  Take the heap only while it
+        // still beats `best`; otherwise fall back to the window CAS.
+        if (!overflow_.empty() &&
+            (!best || overflow_.top().priority < best->priority)) {
           TaskT out = overflow_.pop();
           publish_overflow_min();
           overflow_lock_.unlock();
@@ -179,7 +206,11 @@ class CentralizedKpq {
           return out;
         }
         overflow_lock_.unlock();
-        if (!best) continue;
+        if (best) {
+          p.counters->inc(Counter::overflow_stale);
+        } else {
+          continue;
+        }
       }
 
       TaskT* expected = best;
@@ -188,6 +219,7 @@ class CentralizedKpq {
               std::memory_order_relaxed)) {
         TaskT out = *best;
         if (cfg_.occupancy_summary) clear_bit_healed(best_idx);
+        if (hier_) heal_word(p, best_idx / 64);
         p.epoch.retire(best,
                        [](void* ptr) { delete static_cast<TaskT*>(ptr); });
         p.counters->inc(Counter::tasks_executed);
@@ -195,12 +227,19 @@ class CentralizedKpq {
       }
       p.counters->inc(Counter::pop_cas_failures);
     }
+    // Contention (lost every claim race) and drain (nothing anywhere)
+    // used to exit through one counter; the split keeps them apart in
+    // every figure.  pop_failures stays the total.
     p.counters->inc(Counter::pop_failures);
+    p.counters->inc(saw_empty ? Counter::pop_empty : Counter::pop_contended);
     return std::nullopt;
   }
 
  private:
   static constexpr double kEmpty = std::numeric_limits<double>::infinity();
+  // Stale-word retries before a pop falls back to the full scan; at
+  // quiescence each retry permanently heals the path it took.
+  static constexpr int kMaxDescents = 4;
 
   /// Summary-guided free-slot probe: skip words whose 64 slots all look
   /// occupied, CAS into clear-bit candidates.  A stale-set bit (claim in
@@ -230,12 +269,110 @@ class CentralizedKpq {
                                                  std::memory_order_relaxed)) {
           summary_[w].fetch_or(std::uint64_t{1} << (idx - base),
                                std::memory_order_release);
+          if (hier_) {
+            min_index_.note_min(w, static_cast<double>(node->priority));
+          }
           return true;
         }
         p.counters->inc(Counter::push_cas_failures);
       }
     }
     return false;
+  }
+
+  /// Scan one summary word's occupied slots, folding them into the
+  /// running best; applies the lazy stale-set repair exactly like the
+  /// full scan.  Returns slot pointers loaded.
+  std::uint64_t scan_word(std::size_t w, TaskT** best,
+                          std::size_t* best_idx) {
+    std::uint64_t slot_loads = 0;
+    std::uint64_t occ = summary_[w].load(std::memory_order_acquire);
+    while (occ) {
+      const std::size_t idx =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(occ));
+      occ &= occ - 1;
+      TaskT* node = window_[idx].load(std::memory_order_acquire);
+      ++slot_loads;
+      if (node) {
+        if (!*best || node->priority < (*best)->priority) {
+          *best = node;
+          *best_idx = idx;
+        }
+      } else {
+        // Stale-set repair: a heal re-set that lost a race with a
+        // second claimer can strand a set bit over an empty slot,
+        // and pushers never probe set bits — without this lazy
+        // clear the window would leak capacity monotonically.
+        clear_bit_healed(idx);
+      }
+    }
+    return slot_loads;
+  }
+
+  /// The PR-2 full occupancy scan: every summary word, every occupied
+  /// slot.  The completeness baseline the hierarchical path falls back
+  /// to.
+  void scan_summary(Place& p, TaskT** best, std::size_t* best_idx) {
+    std::uint64_t slot_loads = 0;
+    p.counters->inc(Counter::summary_loads, summary_.size());
+    for (std::size_t w = 0; w < summary_.size(); ++w) {
+      slot_loads += scan_word(w, best, best_idx);
+    }
+    p.counters->inc(Counter::slot_loads, slot_loads);
+  }
+
+  /// Ground truth for a min-index heal: the minimum priority currently
+  /// published in word w (+inf when the word is empty).
+  double word_min(std::size_t w, std::uint64_t* slot_loads) {
+    double m = MinIndex::kEmpty;
+    std::uint64_t occ = summary_[w].load(std::memory_order_acquire);
+    while (occ) {
+      const std::size_t idx =
+          w * 64 + static_cast<std::size_t>(std::countr_zero(occ));
+      occ &= occ - 1;
+      TaskT* node = window_[idx].load(std::memory_order_acquire);
+      ++*slot_loads;
+      if (node) {
+        const double v = static_cast<double>(node->priority);
+        if (v < m) m = v;
+      }
+    }
+    return m;
+  }
+
+  /// Recompute word w's cached min from the slots and heal the tree
+  /// path (after a claim emptied or worsened the word).
+  void heal_word(Place& p, std::size_t w) {
+    std::uint64_t slot_loads = 0;
+    const std::uint64_t heals =
+        min_index_.heal_block(w, [&] { return word_min(w, &slot_loads); });
+    p.counters->inc(Counter::slot_loads, slot_loads);
+    p.counters->inc(Counter::summary_loads);
+    if (heals) p.counters->inc(Counter::min_heals, heals);
+  }
+
+  /// Hierarchical find-best: descend the min-index to the apparently
+  /// best word and scan just that word.  A descent that lands on a
+  /// stale word (claimed out or raise-hidden) heals it from ground
+  /// truth and retries; the caller falls back to the full scan when
+  /// every descent misses.
+  void descend_best(Place& p, TaskT** best, std::size_t* best_idx) {
+    for (int d = 0; d < kMaxDescents; ++d) {
+      p.counters->inc(Counter::tree_descents);
+      std::uint64_t heals = 0;
+      const std::size_t w = min_index_.min_block(&heals);
+      if (heals) p.counters->inc(Counter::min_heals, heals);
+      // kNone is either a genuinely empty tree (the retry re-reads one
+      // root load — cheap) or a stale subtree min_block just healed, in
+      // which case the next descent routes around it; either way spend
+      // the remaining descent budget before the caller's full scan.
+      if (w == MinIndex::kNone) continue;
+      p.counters->inc(Counter::summary_loads);
+      const std::uint64_t loads = scan_word(w, best, best_idx);
+      p.counters->inc(Counter::slot_loads, loads);
+      if (*best) return;
+      heal_word(p, w);
+    }
   }
 
   /// Clear a claimed slot's summary bit, then heal the clear/set race: if
@@ -267,6 +404,8 @@ class CentralizedKpq {
   EpochDomain domain_;  // declared before places_: EpochThreads must die first
   std::vector<std::atomic<TaskT*>> window_;
   std::vector<std::atomic<std::uint64_t>> summary_;  // 1 bit per window slot
+  bool hier_;           // hierarchical_min requires the occupancy summary
+  MinIndex min_index_;  // one cached min per summary word + d-ary tree
   Spinlock overflow_lock_;
   DaryHeap<TaskT, TaskLess, 4> overflow_;
   std::atomic<double> overflow_min_{kEmpty};

@@ -53,6 +53,14 @@ struct StorageConfig {
   // Off = the PR-1 linear scan, kept as the ablation baseline.
   bool occupancy_summary = true;
 
+  // Centralized: descend a hierarchical min-index (support/min_index.hpp,
+  // one cached min per summary word + a d-ary tree over the words) to the
+  // best word instead of min-scanning every occupied slot.  Effective
+  // only with occupancy_summary on (the descent reads the word's
+  // occupancy bits); off = the PR-2 full occupied-scan, kept as the A15
+  // ablation baseline.
+  bool hierarchical_min = true;
+
   // Hybrid: cap on live sorted segments per published shard.  Small k
   // with a large task flood publishes many short runs faster than pops
   // drain them; once a shard holds more than this many live segments,

@@ -43,9 +43,26 @@ class Xoshiro256 {
     return static_cast<double>((next() >> 11) + 1) * 0x1.0p-53;
   }
 
-  /// Uniform integer in [0, bound).  Bias is negligible for bound << 2^64.
+  /// Uniform integer in [0, bound) — Lemire's multiply-shift reduction
+  /// with the rejection leg, so every bound is exactly unbiased.  The
+  /// old `next() % bound` was measurably biased for the small, odd
+  /// bounds the storages actually pass (window slot placement, victim
+  /// selection); multiply-shift is also cheaper than hardware modulo on
+  /// the hot path.  The rejection loop runs with probability
+  /// (2^64 mod bound) / 2^64 — negligible for every bound we use.
   std::uint64_t next_bounded(std::uint64_t bound) {
-    return bound ? next() % bound : 0;
+    if (bound == 0) return 0;
+    unsigned __int128 m =
+        static_cast<unsigned __int128>(next()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        m = static_cast<unsigned __int128>(next()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
   }
 
   static constexpr std::uint64_t min() { return 0; }

@@ -20,7 +20,9 @@ namespace kps {
 enum class Counter : std::size_t {
   tasks_spawned = 0,   // every push into a storage
   tasks_executed,      // pops that returned a task
-  pop_failures,        // pops that found the whole structure empty
+  pop_failures,        // failed pops, total (== pop_empty + pop_contended)
+  pop_empty,           // failed pops that saw a genuinely empty structure
+  pop_contended,       // failed pops that saw tasks but lost every claim race
   publishes,           // hybrid: local->global publish operations
   published_items,     // hybrid: tasks moved by those publishes
   spied_items,         // hybrid: tasks claimed out of a foreign private queue
@@ -30,6 +32,10 @@ enum class Counter : std::size_t {
   pop_cas_failures,    // centralized: claim CASes lost to a racing popper
   slot_loads,          // centralized: window slot pointers read by pop scans
   summary_loads,       // centralized: occupancy summary words read by pops
+  tree_descents,       // centralized: hierarchical min-index descents
+  min_heals,           // centralized: stale min-index nodes healed by CAS
+  overflow_stale,      // centralized: pre-lock overflow snapshots that lost
+                       // their race (pop fell back to the window candidate)
   segment_merges,      // hybrid: pre-sorted runs ingested by published shards
   segment_spills,      // hybrid: cold-segment folds into the shard heap
   kCount

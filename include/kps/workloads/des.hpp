@@ -27,8 +27,31 @@
 //     window is fidelity/throughput shaping, not a correctness fence.
 //
 // Global virtual time is lower-bounded by min over chain_time[]: each
-// chain has exactly one live event at any moment (fixed population), and
-// its entry is updated only by the worker holding that event.
+// chain has exactly one live event at any moment (fixed population).
+//
+// Ordering invariant (PR-5 fix): a committing worker SPAWNS the
+// successor event before it raises chain_time[chain] to the successor's
+// timestamp.  The old store-then-spawn order let a concurrent floor
+// computation observe the raised entry while the successor was not yet
+// poppable — a transiently loosened causality window (events beyond
+// `window` of the true live floor could commit).  Spawn-then-store keeps
+// every transient strictly conservative: between the spawn and the store
+// the entry still holds the just-consumed event's (lower) timestamp, so
+// a racing floor read can only under-estimate and defer one event more
+// than necessary.  Because the successor becomes poppable before the
+// store, a fast peer may pop it and raise the entry further *first*;
+// entries are therefore advanced with a CAS-max (chain times are
+// monotone), never a plain store that could roll a later value back.
+//
+// Virtual-time floor (PR-5, `DesParams::hierarchical_floor`, default
+// on): the floor is read from a hierarchical min-index over chain_time[]
+// (support/min_index.hpp) — one root load per windowed pop — and each
+// commit heals its chain's 64-entry block, so per-pop floor cost is
+// O(1) + O(64) instead of the O(chains) scan (the A16 panel; `false`
+// keeps the PR-3 linear scan as the ablation baseline).  The index
+// inherits the scan's approximation contract: chain times are monotone,
+// so a recompute-from-observed heal can only under-estimate — the root
+// is a true lower bound on live virtual time at every sample.
 #pragma once
 
 #include <algorithm>
@@ -36,11 +59,13 @@
 #include <bit>
 #include <cstdint>
 #include <limits>
+#include <optional>
 #include <vector>
 
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
+#include "support/min_index.hpp"
 #include "support/stats.hpp"
 #include "workloads/runner.hpp"
 
@@ -55,6 +80,7 @@ struct DesParams {
   double window = 8.0;           // causality window; < 0 disables the rule
   std::uint32_t max_defer = 8;   // lazy re-enqueue budget per event
   std::uint64_t seed = 1;
+  bool hierarchical_floor = true;  // min-index floor; false = O(chains) scan
 };
 
 struct DesEvent {
@@ -83,10 +109,25 @@ struct DesRun {
                                  // high-water timestamp (approximate
                                  // under commit races) — the A11
                                  // schedule-quality probe
+  std::uint64_t floor_checks = 0;  // windowed pops that computed a floor
+  std::uint64_t floor_loads = 0;   // chain_time/index loads those cost —
+                                   // the A16 per-pop floor-cost metric
   RunnerResult runner;
 };
 
 namespace detail {
+
+/// Monotone advance: raise `a` to at least v.  CAS-max instead of a
+/// plain store — with spawn-then-store ordering a fast peer can pop the
+/// successor and raise the entry before the spawner's own store lands,
+/// and that later value must survive.
+inline void store_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_release,
+                                  std::memory_order_relaxed)) {
+  }
+}
 
 inline std::uint64_t mix64(std::uint64_t x) {
   x ^= x >> 30;
@@ -184,16 +225,39 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
 
   // chain_time[c] = timestamp of chain c's single live event (+inf once
   // the chain passed the horizon); min over it bounds global virtual
-  // time from below.  Each entry is written only by the worker holding
-  // that chain's event.
+  // time from below.  Entries advance monotonically via store_max (see
+  // the header comment's ordering invariant).
   std::vector<std::atomic<double>> chain_time(p.chains);
   std::vector<DesTask> seeds;
   seeds.reserve(p.chains);
+  // Floor index: one cached min per 64 chains + a d-ary tree.  Floor
+  // reads become one root load; commits heal their chain's block.
+  const bool hier_floor =
+      p.hierarchical_floor && p.window >= 0 && p.chains > 0;
+  std::optional<MinIndex> floor_index;
+  if (hier_floor) floor_index.emplace((p.chains + 63) / 64);
+  std::atomic<std::uint64_t> floor_checks{0};
+  std::atomic<std::uint64_t> floor_loads{0};
   for (std::uint32_t c = 0; c < p.chains; ++c) {
     const double t0 = des_initial_time(p, c);
     chain_time[c].store(t0, std::memory_order_relaxed);
+    if (hier_floor) floor_index->note_min(c / 64, t0);
     seeds.push_back({t0, {c, 0, 0}});
   }
+
+  // Ground truth for one floor-index block: min over its ≤ 64 chain
+  // entries (monotone, so observed values only under-estimate).
+  auto block_floor = [&](std::size_t b, std::uint64_t* loads) {
+    const std::size_t lo = b * 64;
+    const std::size_t hi = std::min(chain_time.size(), lo + 64);
+    double m = kInf;
+    for (std::size_t c = lo; c < hi; ++c) {
+      const double v = chain_time[c].load(std::memory_order_relaxed);
+      if (v < m) m = v;
+    }
+    *loads += hi - lo;
+    return m;
+  };
 
   auto expand = [&](RunnerHandle<Storage>& handle,
                     const DesTask& task) -> bool {
@@ -202,10 +266,18 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
 
     if (p.window >= 0 && ev.defers < p.max_defer) {
       double floor = kInf;
-      for (const auto& ct : chain_time) {
-        const double v = ct.load(std::memory_order_relaxed);
-        if (v < floor) floor = v;
+      if (hier_floor) {
+        floor = floor_index->root();
+        floor_loads.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        for (const auto& ct : chain_time) {
+          const double v = ct.load(std::memory_order_relaxed);
+          if (v < floor) floor = v;
+        }
+        floor_loads.fetch_add(chain_time.size(),
+                              std::memory_order_relaxed);
       }
+      floor_checks.fetch_add(1, std::memory_order_relaxed);
       if (t > floor + p.window) {
         // Causality-window violation: lazy re-enqueue, same timestamp,
         // one more defer spent.
@@ -232,11 +304,21 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
     checksum.fetch_add(detail::des_fingerprint(ev.chain, ev.step, t),
                        std::memory_order_relaxed);
     events.fetch_add(1, std::memory_order_relaxed);
+    // Spawn BEFORE raising chain_time (ordering invariant, header
+    // comment): a raised entry must never describe an event nobody can
+    // pop yet.  store_max, not store — the successor's worker may have
+    // already advanced the entry further.
     if (tr.depart <= p.horizon) {
-      chain_time[ev.chain].store(tr.depart, std::memory_order_relaxed);
       handle.spawn({tr.depart, {ev.chain, ev.step + 1, 0}});
+      detail::store_max(chain_time[ev.chain], tr.depart);
     } else {
-      chain_time[ev.chain].store(kInf, std::memory_order_relaxed);
+      detail::store_max(chain_time[ev.chain], kInf);
+    }
+    if (hier_floor) {
+      const std::size_t b = ev.chain / 64;
+      std::uint64_t loads = 0;
+      floor_index->heal_block(b, [&] { return block_floor(b, &loads); });
+      floor_loads.fetch_add(loads, std::memory_order_relaxed);
     }
     return true;
   };
@@ -246,6 +328,8 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
                            std::forward<PopHook>(hook));
   run.deferred = deferred.load(std::memory_order_relaxed);
   run.inversions = inversions.load(std::memory_order_relaxed);
+  run.floor_checks = floor_checks.load(std::memory_order_relaxed);
+  run.floor_loads = floor_loads.load(std::memory_order_relaxed);
   run.outcome.events = events.load(std::memory_order_relaxed);
   run.outcome.checksum = checksum.load(std::memory_order_relaxed);
   run.outcome.station_counts.resize(counts.size());

@@ -10,11 +10,31 @@
 // termination counter, so this is the structure-level version of that
 // guarantee.  Runs with the summary on and off, small and large windows
 // (small windows force overflow-heap traffic through the same scan).
+#include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdint>
 #include <cstdio>
 #include <thread>
 #include <vector>
+
+// Overflow-race seam (see centralized_kpq.hpp): when armed, both
+// poppers rendezvous here AFTER snapshotting overflow_min_ and BEFORE
+// locking — the exact interleaving the PR-5 re-check fix targets, made
+// deterministic instead of hoping a 1-core scheduler preempts inside a
+// nanosecond window.
+namespace {
+std::atomic<bool> g_race_armed{false};
+std::atomic<int> g_race_arrivals{0};
+void overflow_race_rendezvous() {
+  if (!g_race_armed.load(std::memory_order_acquire)) return;
+  g_race_arrivals.fetch_add(1, std::memory_order_acq_rel);
+  while (g_race_armed.load(std::memory_order_acquire) &&
+         g_race_arrivals.load(std::memory_order_acquire) < 2) {
+  }
+}
+}  // namespace
+#define KPS_POP_OVERFLOW_RACE_HOOK() overflow_race_rendezvous()
 
 #include "core/centralized_kpq.hpp"
 #include "core/task_types.hpp"
@@ -25,12 +45,13 @@ namespace {
 using namespace kps;
 using TestTask = Task<std::uint64_t, double>;
 
-void churn(bool occupancy_summary, int k, std::size_t threads,
-           std::uint64_t per_thread) {
+void churn(bool occupancy_summary, bool hierarchical_min, int k,
+           std::size_t threads, std::uint64_t per_thread) {
   StorageConfig cfg;
   cfg.k_max = k;
   cfg.default_k = k;
   cfg.occupancy_summary = occupancy_summary;
+  cfg.hierarchical_min = hierarchical_min;
   StatsRegistry stats(threads);
   CentralizedKpq<TestTask> storage(threads, cfg, &stats);
 
@@ -89,24 +110,125 @@ void churn(bool occupancy_summary, int k, std::size_t threads,
   for (std::uint64_t payload : rest) record(payload);
   if (got != total) {
     std::fprintf(stderr,
-                 "summary=%d k=%d: pushed %llu, recovered %llu — lost "
-                 "task(s)\n",
-                 occupancy_summary ? 1 : 0, k,
+                 "summary=%d hier=%d k=%d: pushed %llu, recovered %llu — "
+                 "lost task(s)\n",
+                 occupancy_summary ? 1 : 0, hierarchical_min ? 1 : 0, k,
                  static_cast<unsigned long long>(total),
                  static_cast<unsigned long long>(got));
     assert(false);
   }
+
+  // PR-5 counter split: every failed pop is classified exactly once.
+  const PlaceStats t = stats.total();
+  assert(t.get(Counter::pop_failures) ==
+         t.get(Counter::pop_empty) + t.get(Counter::pop_contended));
+  // The dry-streak exits and the final drain guarantee empty verdicts.
+  assert(t.get(Counter::pop_empty) > 0);
+}
+
+// PR-5 regression (counter split): drain vs contention must be
+// distinguishable.  Deterministic single-threaded: a pop on an empty
+// structure is pop_empty, never pop_contended.
+void counter_split_empty() {
+  StorageConfig cfg;
+  cfg.k_max = 64;
+  cfg.default_k = 64;
+  StatsRegistry stats(1);
+  CentralizedKpq<TestTask> storage(1, cfg, &stats);
+  auto& place = storage.place(0);
+
+  assert(!storage.pop(place));
+  storage.push(place, 64, {0.5, 1});
+  assert(storage.pop(place));
+  assert(!storage.pop(place));
+
+  const PlaceStats t = stats.total();
+  assert(t.get(Counter::pop_failures) == 2);
+  assert(t.get(Counter::pop_empty) == 2);
+  assert(t.get(Counter::pop_contended) == 0);
+}
+
+// PR-5 regression (overflow fast-path): a pop must never return a task
+// strictly worse than the window candidate it already holds, even when
+// a racing pop drains the overflow heap between the pre-lock snapshot
+// and the lock.  Setup per round: 1-slot window holding W = 5.0, strict
+// heap holding {G = 1.0, B = 6.0}.  Both threads snapshot
+// heap_min = 1.0 (beats W) and rendezvous at the race hook BEFORE
+// either locks — the exact pre-fix failure interleaving, forced
+// deterministically.  One wins G under the lock; the loser's post-lock
+// re-check (top = 6.0, worse than W) must fall back to the window CAS,
+// so the two pops are always {1.0, 5.0} and overflow_stale fires every
+// round.  Pre-fix, the loser popped 6.0 straight off the heap.
+void overflow_recheck_race() {
+  const int rounds = 500;
+  std::uint64_t stale_seen = 0;
+  for (int r = 0; r < rounds; ++r) {
+    StorageConfig cfg;
+    cfg.k_max = 1;
+    cfg.default_k = 1;
+    cfg.seed = static_cast<std::uint64_t>(r + 1);
+    StatsRegistry stats(2);
+    CentralizedKpq<TestTask> storage(2, cfg, &stats);
+    storage.push(storage.place(0), 1, {5.0, 0});  // window
+    storage.push(storage.place(0), 1, {1.0, 1});  // overflow (good)
+    storage.push(storage.place(0), 1, {6.0, 2});  // overflow (bad)
+
+    g_race_arrivals.store(0, std::memory_order_relaxed);
+    g_race_armed.store(true, std::memory_order_release);
+    double popped[2] = {-1.0, -1.0};
+    auto popper = [&](std::size_t t) {
+      auto task = storage.pop(storage.place(t));
+      assert(task && "three tasks live, a pop cannot fail");
+      popped[t] = task->priority;
+    };
+    std::thread t1(popper, 0), t2(popper, 1);
+    t1.join();
+    t2.join();
+    g_race_armed.store(false, std::memory_order_release);
+
+    const double lo = std::min(popped[0], popped[1]);
+    const double hi = std::max(popped[0], popped[1]);
+    if (!(lo == 1.0 && hi == 5.0)) {
+      std::fprintf(stderr,
+                   "round %d: popped {%g, %g}, want {1, 5} — overflow "
+                   "fast-path returned a worse task than the window "
+                   "candidate\n",
+                   r, lo, hi);
+      assert(false);
+    }
+    stale_seen += stats.total().get(Counter::overflow_stale);
+    // Drain the leftover 6.0 so nothing leaks (hook disarmed: the
+    // single drain pop must not wait for a partner).
+    auto rest = storage.pop(storage.place(0));
+    assert(rest && rest->priority == 6.0);
+  }
+  // The rendezvous makes the stale interleaving a certainty, so the
+  // re-check path is exercised every round — reverting the fix fails
+  // the {1, 5} assertion above, not just a statistic.
+  assert(stale_seen >= static_cast<std::uint64_t>(rounds));
+  std::printf(
+      "  overflow re-check: OK (%llu stale snapshots forced in %d "
+      "rounds)\n",
+      static_cast<unsigned long long>(stale_seen), rounds);
 }
 
 }  // namespace
 
 int main() {
-  for (const bool summary : {true, false}) {
-    churn(summary, 64, 4, 20000);    // 1-word summary, heavy overflow
-    churn(summary, 1024, 4, 20000);  // 16 words
-    churn(summary, 4096, 2, 30000);  // sparse large-k regime (fig5 cliff)
-    churn(summary, 1, 2, 5000);      // degenerate 1-slot window
+  // Three scan modes: PR-1 linear (summary off), PR-2 occupied-scan
+  // (summary on, min-index off), PR-5 hierarchical descent.
+  const struct {
+    bool summary;
+    bool hier;
+  } modes[] = {{false, false}, {true, false}, {true, true}};
+  for (const auto mode : modes) {
+    churn(mode.summary, mode.hier, 64, 4, 20000);  // 1 word, heavy overflow
+    churn(mode.summary, mode.hier, 1024, 4, 20000);  // 16 words
+    churn(mode.summary, mode.hier, 4096, 2, 30000);  // sparse large-k
+    churn(mode.summary, mode.hier, 1, 2, 5000);  // degenerate 1-slot window
   }
+  counter_split_empty();
+  overflow_recheck_race();
   std::printf("test_central_bitmap: OK\n");
   return 0;
 }

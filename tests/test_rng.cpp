@@ -1,0 +1,76 @@
+// Tier-1 (unit label): Xoshiro256 bounded-draw correctness after the
+// PR-5 switch from modulo to Lemire's multiply-shift reduction.
+//
+// The old `next() % bound` was biased toward small residues for bounds
+// that do not divide 2^64 — exactly the small odd bounds the storages
+// pass (window slot placement on the summary-guided path, multiqueue
+// victim pairs).  Lemire with the rejection leg is exactly uniform, so a
+// seeded chi-square-style bin check must sit tight around the expected
+// count for every bound class: power-of-two, small odd, and large.
+#include <cassert>
+#include <cstdint>
+#include <cstdio>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace {
+
+using kps::Xoshiro256;
+
+void range_and_distribution(std::uint64_t bound, std::uint64_t draws,
+                            double tolerance) {
+  Xoshiro256 rng(42 + bound);  // fixed seeds: deterministic, never flaky
+  std::vector<std::uint64_t> bins(bound, 0);
+  for (std::uint64_t i = 0; i < draws; ++i) {
+    const std::uint64_t v = rng.next_bounded(bound);
+    assert(v < bound && "draw escaped [0, bound)");
+    ++bins[v];
+  }
+  const double expected =
+      static_cast<double>(draws) / static_cast<double>(bound);
+  for (std::uint64_t v = 0; v < bound; ++v) {
+    const double dev =
+        (static_cast<double>(bins[v]) - expected) / expected;
+    if (dev > tolerance || dev < -tolerance) {
+      std::fprintf(stderr,
+                   "bound=%llu bin=%llu count=%llu expected=%.1f "
+                   "(%.1f%% off, tolerance %.1f%%)\n",
+                   static_cast<unsigned long long>(bound),
+                   static_cast<unsigned long long>(v),
+                   static_cast<unsigned long long>(bins[v]), expected,
+                   dev * 100.0, tolerance * 100.0);
+      assert(false);
+    }
+  }
+}
+
+}  // namespace
+
+int main() {
+  // Degenerate bounds.
+  Xoshiro256 rng(1);
+  assert(rng.next_bounded(0) == 0);
+  for (int i = 0; i < 100; ++i) assert(rng.next_bounded(1) == 0);
+
+  // Determinism per seed (placement randomization must stay replayable).
+  {
+    Xoshiro256 a(7), b(7);
+    for (int i = 0; i < 1000; ++i) {
+      assert(a.next_bounded(48) == b.next_bounded(48));
+    }
+  }
+
+  // Bound classes: power-of-two (64 — the summary word), the small odd
+  // bounds where modulo bias was worst, and a large non-divisor.  Seeds
+  // are fixed, so the tolerances are regression thresholds, not a
+  // statistical gamble.
+  range_and_distribution(2, 400000, 0.02);
+  range_and_distribution(3, 400000, 0.02);
+  range_and_distribution(48, 960000, 0.05);
+  range_and_distribution(64, 960000, 0.05);
+  range_and_distribution(1000, 4000000, 0.12);
+
+  std::printf("test_rng: OK\n");
+  return 0;
+}

@@ -197,6 +197,33 @@ int main() {
     }
   }
 
+  // --- DES deferral-heavy regression (PR-5): a causality window tighter
+  // than one service time plus a deep defer budget exercises the
+  // spawn-then-store ordering and the min-index floor under constant
+  // deferral pressure, in both floor modes (the oracle is floor-mode
+  // independent — the fix and the index must shift schedule quality,
+  // never results).
+  {
+    DesParams params;
+    params.stations = 16;
+    params.chains = 96;
+    params.horizon = 12.0;
+    params.window = 0.5;
+    params.max_defer = 32;
+    params.seed = 23;
+    const DesOutcome oracle = des_sequential(params);
+    assert(oracle.events > params.chains);
+    for (const bool hier : {true, false}) {
+      params.hierarchical_floor = hier;
+      for (std::size_t P : kPlaces) {
+        for (const char* name : {"centralized", "hybrid", "ws_deque"}) {
+          check_des(std::string(name) + (hier ? "/hier" : "/linear"),
+                    name, params, oracle, P, k);
+        }
+      }
+    }
+  }
+
   // --- Branch-and-bound: two seeded instances, DP oracle.
   for (std::uint64_t seed : {3ull, 11ull}) {
     const KnapsackInstance inst = knapsack_instance(seed == 3 ? 18 : 21,

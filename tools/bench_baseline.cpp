@@ -11,12 +11,14 @@
 //
 // The per-PR BENCH_*.json trajectory is measured with this tool so later
 // perf PRs are judged against identical methodology.
+#include <chrono>
 #include <cstdio>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench/bench_common.hpp"
+#include "core/centralized_kpq.hpp"
 #include "workloads/astar.hpp"
 #include "workloads/bnb.hpp"
 #include "workloads/des.hpp"
@@ -116,10 +118,135 @@ void emit_workload_block(const char* workload, std::size_t P, int k,
   std::printf("  }%s\n", last ? "" : ",");
 }
 
+// ------------------------------------------- A15 / A16 (PR-5) rows
+
+/// A15: dense-window centralized pop — k = 4096 with ~2560 occupied
+/// slots, steady push+pop churn.  `hier` toggles the min-index descent
+/// against the PR-2 occupied-scan baseline; `exact` is conservation
+/// (every pushed task recovered exactly once).
+struct A15Row {
+  double seconds = 0;
+  double slot_loads_per_pop = 0;
+  double summary_loads_per_pop = 0;
+  double tree_descents_per_pop = 0;
+  double min_heals_per_pop = 0;
+  std::uint64_t pop_empty = 0;
+  std::uint64_t pop_contended = 0;
+  bool exact = false;
+};
+
+A15Row measure_a15(bool hier) {
+  using DenseTask = Task<std::uint64_t, double>;
+  StorageConfig cfg;
+  cfg.k_max = 4096;
+  cfg.default_k = 4096;
+  cfg.hierarchical_min = hier;
+  StatsRegistry stats(1);
+  CentralizedKpq<DenseTask> storage(1, cfg, &stats);
+  auto& place = storage.place(0);
+  Xoshiro256 rng(1);
+  std::uint64_t pushed = 0;
+  std::uint64_t recovered = 0;
+  const int kFill = 2560;
+  const int kOps = 20000;
+  for (int i = 0; i < kFill; ++i) {
+    storage.push(place, 4096, {rng.next_unit(), pushed++});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    storage.push(place, 4096, {rng.next_unit(), pushed++});
+    if (storage.pop(place)) ++recovered;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  while (storage.pop(place)) ++recovered;
+
+  const PlaceStats t = stats.total();
+  A15Row row;
+  row.seconds = std::chrono::duration<double>(t1 - t0).count();
+  const double pops = static_cast<double>(t.get(Counter::tasks_executed));
+  row.slot_loads_per_pop =
+      static_cast<double>(t.get(Counter::slot_loads)) / pops;
+  row.summary_loads_per_pop =
+      static_cast<double>(t.get(Counter::summary_loads)) / pops;
+  row.tree_descents_per_pop =
+      static_cast<double>(t.get(Counter::tree_descents)) / pops;
+  row.min_heals_per_pop =
+      static_cast<double>(t.get(Counter::min_heals)) / pops;
+  row.pop_empty = t.get(Counter::pop_empty);
+  row.pop_contended = t.get(Counter::pop_contended);
+  row.exact = recovered == pushed;
+  return row;
+}
+
+void emit_a15(const char* name, const A15Row& r) {
+  std::printf(
+      "    \"%s\": {\"time_s\": %.6f, \"slot_loads_per_pop\": %.1f, "
+      "\"summary_loads_per_pop\": %.1f, \"tree_descents_per_pop\": %.2f, "
+      "\"min_heals_per_pop\": %.2f, \"pop_empty\": %llu, "
+      "\"pop_contended\": %llu, \"exact\": %s},\n",
+      name, r.seconds, r.slot_loads_per_pop, r.summary_loads_per_pop,
+      r.tree_descents_per_pop, r.min_heals_per_pop,
+      static_cast<unsigned long long>(r.pop_empty),
+      static_cast<unsigned long long>(r.pop_contended),
+      r.exact ? "true" : "false");
+}
+
+/// A16: DES floor cost — floor_loads_per_pop must be flat in the chain
+/// count with the min-index and ~chains without it.
+struct A16Row {
+  std::uint64_t chains = 0;
+  double seconds = 0;
+  std::uint64_t events = 0;
+  std::uint64_t deferred = 0;
+  double floor_loads_per_pop = 0;
+  bool exact = false;
+};
+
+A16Row measure_a16(std::uint32_t chains, bool hier, std::size_t P) {
+  DesParams p;
+  p.chains = chains;
+  p.stations = 64;
+  p.horizon = 3.0;
+  p.window = 4.0;
+  p.seed = 1;
+  p.hierarchical_floor = hier;
+  const DesOutcome oracle = des_sequential(p);
+  StorageConfig cfg;
+  cfg.k_max = 256;
+  cfg.default_k = 256;
+  cfg.seed = 1;
+  StatsRegistry stats(P);
+  auto storage = make_storage<DesTask>("hybrid", P, cfg, &stats);
+  const DesRun run = des_parallel(p, storage, 256, &stats);
+  A16Row row;
+  row.chains = chains;
+  row.seconds = run.runner.seconds;
+  row.events = run.outcome.events;
+  row.deferred = run.deferred;
+  const std::uint64_t pops = run.runner.expanded + run.runner.wasted;
+  row.floor_loads_per_pop =
+      pops ? static_cast<double>(run.floor_loads) /
+                 static_cast<double>(pops)
+           : 0.0;
+  row.exact = run.outcome == oracle;
+  return row;
+}
+
+void emit_a16(const std::string& name, const A16Row& r) {
+  std::printf(
+      "    \"%s\": {\"chains\": %llu, \"time_s\": %.6f, \"events\": %llu, "
+      "\"deferred\": %llu, \"floor_loads_per_pop\": %.1f, \"exact\": "
+      "%s},\n",
+      name.c_str(), static_cast<unsigned long long>(r.chains), r.seconds,
+      static_cast<unsigned long long>(r.events),
+      static_cast<unsigned long long>(r.deferred), r.floor_loads_per_pop,
+      r.exact ? "true" : "false");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args(argc, argv, {"P", "k"});
+  Args args(argc, argv, {"P", "k", "a16-chains"});
   Workload w = workload_from_args(args);
   if (!args.flag("paper")) {
     w.n = args.value("n", 2000);
@@ -273,6 +400,51 @@ int main(int argc, char** argv) {
           return row;
         },
         false);
+  }
+
+  // PR-5 hierarchical min-index rows (A15 dense-window centralized pop,
+  // A16 DES chain scaling), each with its oracle/conservation verdict
+  // and an explicit machine-independent acceptance verdict.
+  {
+    const std::uint64_t a16_big = args.value("a16-chains", 100000);
+    std::printf("  \"hier_min\": {\n");
+    const A15Row a15_linear = measure_a15(false);
+    const A15Row a15_hier = measure_a15(true);
+    emit_a15("a15_central_dense_linear_scan", a15_linear);
+    emit_a15("a15_central_dense_hier", a15_hier);
+    const double ratio =
+        a15_hier.slot_loads_per_pop > 0
+            ? a15_linear.slot_loads_per_pop / a15_hier.slot_loads_per_pop
+            : 0.0;
+    std::printf("    \"a15_slot_load_ratio\": %.1f,\n", ratio);
+    std::printf("    \"a15_verdict_ge_4x\": %s,\n",
+                ratio >= 4.0 && a15_linear.exact && a15_hier.exact
+                    ? "true"
+                    : "false");
+
+    const A16Row a16_lin = measure_a16(4096, false, P);
+    const A16Row a16_small = measure_a16(4096, true, P);
+    const A16Row a16_big_row =
+        measure_a16(static_cast<std::uint32_t>(a16_big), true, P);
+    emit_a16("a16_des_linear_c4096", a16_lin);
+    emit_a16("a16_des_hier_c4096", a16_small);
+    // Fixed key (chain count lives in the row): a chains-derived key
+    // would collide with the c4096 row when --a16-chains is 4096 —
+    // exactly what CI's smoke flags pass.
+    emit_a16("a16_des_hier_scaled", a16_big_row);
+    // Floor cost independent of chain count: the big-chain hier row may
+    // not cost more than 2x the small one per pop (the linear scan grows
+    // ~24x over the same span).
+    const bool flat =
+        a16_small.floor_loads_per_pop > 0 &&
+        a16_big_row.floor_loads_per_pop <=
+            2.0 * a16_small.floor_loads_per_pop;
+    std::printf("    \"a16_verdict_floor_cost_independent\": %s\n",
+                flat && a16_lin.exact && a16_small.exact &&
+                        a16_big_row.exact
+                    ? "true"
+                    : "false");
+    std::printf("  },\n");
   }
 
   std::printf("  \"speedup_vs_global_pq\": {\"hybrid\": %.2f, "
