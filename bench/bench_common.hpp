@@ -30,6 +30,7 @@
 #include "graph/dijkstra.hpp"
 #include "graph/generators.hpp"
 #include "graph/sssp.hpp"
+#include "support/failpoint.hpp"
 #include "support/stats.hpp"
 
 namespace kps::bench {
@@ -106,6 +107,7 @@ class Args {
   static bool check(const std::vector<std::string>& args,
                     const std::vector<std::string>& accepted,
                     std::string* err) {
+    std::vector<std::string> seen;
     for (std::size_t i = 0; i < args.size(); ++i) {
       const std::string& tok = args[i];
       if (tok.rfind("--", 0) != 0) {
@@ -113,6 +115,14 @@ class Args {
         return false;
       }
       const std::string name = tok.substr(2);
+      // Repeated flags fail fast: the value lookups return the FIRST
+      // occurrence, so `--k 4 ... --k 8` would silently run with 4 while
+      // the operator believes they overrode it to 8.
+      if (std::find(seen.begin(), seen.end(), name) != seen.end()) {
+        *err = "duplicate flag '" + tok + "'";
+        return false;
+      }
+      seen.push_back(name);
       if (std::find(accepted.begin(), accepted.end(), name) ==
           accepted.end()) {
         *err = "unknown flag '" + tok + "' (this bench accepts:" +
@@ -265,6 +275,51 @@ inline StorageConfig apply_publish_batch(const Args& args,
     std::exit(2);
   }
   cfg.publish_batch = static_cast<int>(batch);
+  return cfg;
+}
+
+/// Shared --fail-spec plumbing (PR 6): a fault-injection script such as
+/// `central.push.slot_cas=fail:p=0.2:count=100,hybrid.spy=fail` applied
+/// to the process-wide failpoint registry before the measured runs.  On a
+/// default build (failpoints compiled out) a non-empty spec is a hard
+/// error — silently measuring a fault-free binary while printing a fault
+/// rate would poison every downstream figure.
+inline constexpr const char* kFailSpecFlag = "fail-spec";
+
+inline void apply_fail_spec(const Args& args) {
+  const std::string spec = args.value_s(kFailSpecFlag, "");
+  if (spec.empty()) return;
+  const std::string err = fp::apply_spec(spec);
+  if (!err.empty()) {
+    std::fprintf(stderr, "error: --%s: %s\n", kFailSpecFlag, err.c_str());
+    std::exit(2);
+  }
+}
+
+/// Shared bounded-capacity plumbing (PR 6): `--capacity N` bounds the
+/// storage at N resident tasks (0 = unbounded, the default) and
+/// `--overflow reject|shed-lowest` picks what happens at the bound.
+inline constexpr const char* kCapacityFlag = "capacity";
+inline constexpr const char* kOverflowFlag = "overflow";
+
+inline StorageConfig apply_capacity(const Args& args,
+                                    StorageConfig cfg = {}) {
+  cfg.capacity = static_cast<std::size_t>(
+      args.value(kCapacityFlag, static_cast<std::uint64_t>(cfg.capacity)));
+  const std::string policy = args.value_s(
+      kOverflowFlag,
+      cfg.overflow_policy == OverflowPolicy::shed_lowest ? "shed-lowest"
+                                                         : "reject");
+  if (policy == "reject") {
+    cfg.overflow_policy = OverflowPolicy::reject;
+  } else if (policy == "shed-lowest") {
+    cfg.overflow_policy = OverflowPolicy::shed_lowest;
+  } else {
+    std::fprintf(stderr,
+                 "error: --%s expects reject|shed-lowest, got '%s'\n",
+                 kOverflowFlag, policy.c_str());
+    std::exit(2);
+  }
   return cfg;
 }
 

@@ -57,6 +57,10 @@ class AnyStorage {
     model_->push(p.index, k, std::move(task));
   }
 
+  PushOutcome<TaskT> try_push(Place& p, int k, TaskT task) {
+    return model_->try_push(p.index, k, std::move(task));
+  }
+
   std::optional<TaskT> pop(Place& p) { return model_->pop(p.index); }
 
  private:
@@ -64,6 +68,8 @@ class AnyStorage {
     virtual ~Interface() = default;
     virtual std::size_t places() = 0;
     virtual void push(std::size_t place, int k, TaskT task) = 0;
+    virtual PushOutcome<TaskT> try_push(std::size_t place, int k,
+                                        TaskT task) = 0;
     virtual std::optional<TaskT> pop(std::size_t place) = 0;
   };
 
@@ -73,6 +79,10 @@ class AnyStorage {
     std::size_t places() override { return impl->places(); }
     void push(std::size_t place, int k, TaskT task) override {
       impl->push(impl->place(place), k, std::move(task));
+    }
+    PushOutcome<TaskT> try_push(std::size_t place, int k,
+                                TaskT task) override {
+      return impl->try_push(impl->place(place), k, std::move(task));
     }
     std::optional<TaskT> pop(std::size_t place) override {
       return impl->pop(impl->place(place));

@@ -62,6 +62,7 @@
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
 #include "support/epoch.hpp"
+#include "support/failpoint.hpp"
 #include "support/min_index.hpp"
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
@@ -99,6 +100,7 @@ class CentralizedKpq {
         places_(places ? places : 1) {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg, stats);
+    gate_.init(cfg_);
     for (auto& s : window_) s.store(nullptr, std::memory_order_relaxed);
     for (auto& w : summary_) w.store(0, std::memory_order_relaxed);
     for (auto& p : places_) p.epoch = domain_.register_thread();
@@ -112,6 +114,45 @@ class CentralizedKpq {
   Place& place(std::size_t i) { return places_[i]; }
 
   void push(Place& p, int k, TaskT task) {
+    (void)try_push(p, k, std::move(task));
+  }
+
+  /// Capacity-aware push.  Shed tier: the strict overflow heap — window
+  /// tasks (the hot ≤ k_max set) are never shed, so at capacity the shed
+  /// threshold is the overflow heap's worst resident (or the incoming
+  /// task itself while the overflow tier is empty).
+  PushOutcome<TaskT> try_push(Place& p, int k, TaskT task) {
+    PushOutcome<TaskT> out;
+    if (gate_.at_capacity()) {
+      if (gate_.policy() == OverflowPolicy::reject) {
+        out.accepted = false;
+        p.counters->inc(Counter::push_rejected);
+        return out;
+      }
+      // shed_lowest: trade against the overflow tier under its lock, so
+      // the eviction and the replacement insert are one atomic step and
+      // the resident count is untouched.
+      overflow_lock_.lock();
+      if (!overflow_.empty()) {
+        const std::size_t w = overflow_.worst_index();
+        if (TaskLess{}(task, overflow_.at(w))) {
+          out.shed = overflow_.extract_at(w);
+          overflow_.push(std::move(task));
+          publish_overflow_min();
+          overflow_lock_.unlock();
+          p.counters->inc(Counter::tasks_spawned);
+          p.counters->inc(Counter::tasks_shed);
+          return out;
+        }
+      }
+      overflow_lock_.unlock();
+      out.accepted = false;
+      out.shed = std::move(task);
+      p.counters->inc(Counter::tasks_spawned);
+      p.counters->inc(Counter::tasks_shed);
+      return out;
+    }
+
     p.counters->inc(Counter::tasks_spawned);
     const std::size_t window = window_size(k);
     auto* node = new TaskT(task);
@@ -121,31 +162,42 @@ class CentralizedKpq {
     const std::size_t start =
         cfg_.randomize_placement ? p.rng.next_bounded(window) : 0;
     if (cfg_.occupancy_summary) {
-      if (push_summary_guided(p, window, start, node)) return;
+      if (push_summary_guided(p, window, start, node)) {
+        gate_.add(1);
+        return out;
+      }
     } else {
       for (std::size_t i = 0; i < window; ++i) {
         const std::size_t idx = start + i < window ? start + i
                                                    : start + i - window;
         TaskT* expected = window_[idx].load(std::memory_order_relaxed);
         if (expected != nullptr) continue;
-        if (window_[idx].compare_exchange_strong(expected, node,
+        if (!KPS_FAILPOINT_FAIL("central.push.slot_cas") &&
+            window_[idx].compare_exchange_strong(expected, node,
                                                  std::memory_order_release,
                                                  std::memory_order_relaxed)) {
-          return;
+          gate_.add(1);
+          return out;
         }
         p.counters->inc(Counter::push_cas_failures);
       }
     }
     // Window full: the task leaves the relaxed tier for the strict heap.
+    KPS_FAILPOINT("central.push.overflow");
     overflow_lock_.lock();
     overflow_.push(task);
     publish_overflow_min();
     overflow_lock_.unlock();
+    gate_.add(1);
     delete node;  // never published, nobody can hold a reference
+    return out;
   }
 
   std::optional<TaskT> pop(Place& p) {
     EpochGuard guard(p.epoch);
+    // Seam: a place parked here is pinned — the epoch-reclamation stall
+    // test wedges one pop exactly like a preempted scanner.
+    KPS_FAILPOINT("central.pop.pinned");
     // Scan the whole slot array, not default_k: push honors the caller's
     // per-op k, so any slot up to k_max may hold a task.
     const std::size_t window = window_.size();
@@ -191,6 +243,7 @@ class CentralizedKpq {
       if (!best ||
           heap_min < static_cast<double>(best->priority)) {
         KPS_POP_OVERFLOW_RACE_HOOK();
+        KPS_FAILPOINT("central.pop.overflow");
         overflow_lock_.lock();
         // Re-check the pre-lock snapshot under the lock: a racing pop
         // may have drained the good prefix of the heap, and popping its
@@ -202,6 +255,7 @@ class CentralizedKpq {
           TaskT out = overflow_.pop();
           publish_overflow_min();
           overflow_lock_.unlock();
+          gate_.add(-1);
           p.counters->inc(Counter::tasks_executed);
           return out;
         }
@@ -214,7 +268,8 @@ class CentralizedKpq {
       }
 
       TaskT* expected = best;
-      if (window_[best_idx].compare_exchange_strong(
+      if (!KPS_FAILPOINT_FAIL("central.pop.claim_cas") &&
+          window_[best_idx].compare_exchange_strong(
               expected, nullptr, std::memory_order_acq_rel,
               std::memory_order_relaxed)) {
         TaskT out = *best;
@@ -222,6 +277,7 @@ class CentralizedKpq {
         if (hier_) heal_word(p, best_idx / 64);
         p.epoch.retire(best,
                        [](void* ptr) { delete static_cast<TaskT*>(ptr); });
+        gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
         return out;
       }
@@ -247,6 +303,11 @@ class CentralizedKpq {
   /// overflow into the strict heap — never a lost task.
   bool push_summary_guided(Place& p, std::size_t window, std::size_t start,
                            TaskT* node) {
+    // Snapshot before the CAS: the winning CAS publishes `node`, and a
+    // racing pop may claim, retire, and (push being unpinned) free it
+    // before this thread's next instruction — `node` is ours to read
+    // only up to the publication point.
+    const double pri = static_cast<double>(node->priority);
     const std::size_t words = (window + 63) / 64;
     for (std::size_t i = 0; i < words; ++i) {
       std::size_t w = start / 64 + i;
@@ -264,13 +325,14 @@ class CentralizedKpq {
         free_bits &= free_bits - 1;
         TaskT* expected = window_[idx].load(std::memory_order_relaxed);
         if (expected != nullptr) continue;
-        if (window_[idx].compare_exchange_strong(expected, node,
+        if (!KPS_FAILPOINT_FAIL("central.push.slot_cas") &&
+            window_[idx].compare_exchange_strong(expected, node,
                                                  std::memory_order_release,
                                                  std::memory_order_relaxed)) {
           summary_[w].fetch_or(std::uint64_t{1} << (idx - base),
                                std::memory_order_release);
           if (hier_) {
-            min_index_.note_min(w, static_cast<double>(node->priority));
+            min_index_.note_min(w, pri);
           }
           return true;
         }
@@ -383,6 +445,8 @@ class CentralizedKpq {
     auto& word = summary_[idx / 64];
     const std::uint64_t bit = std::uint64_t{1} << (idx % 64);
     word.fetch_and(~bit, std::memory_order_acq_rel);
+    // Seam: widen the clear/re-read race window the heal exists to close.
+    KPS_FAILPOINT("central.heal.clear_bit");
     if (window_[idx].load(std::memory_order_acquire) != nullptr) {
       word.fetch_or(bit, std::memory_order_release);
     }
@@ -409,6 +473,7 @@ class CentralizedKpq {
   Spinlock overflow_lock_;
   DaryHeap<TaskT, TaskLess, 4> overflow_;
   std::atomic<double> overflow_min_{kEmpty};
+  detail::CapacityGate gate_;
   std::vector<Place> places_;
   std::unique_ptr<StatsRegistry> owned_stats_;
 };

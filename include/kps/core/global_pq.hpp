@@ -9,11 +9,13 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <utility>
 #include <vector>
 
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
+#include "support/failpoint.hpp"
 #include "support/stats.hpp"
 
 namespace kps {
@@ -33,24 +35,62 @@ class GlobalLockedPq {
       : cfg_(cfg), places_(places ? places : 1) {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
+    gate_.init(cfg_);
   }
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
 
-  void push(Place& p, int /*k*/, TaskT task) {
+  void push(Place& p, int k, TaskT task) {
+    (void)try_push(p, k, std::move(task));
+  }
+
+  /// Capacity-aware push.  The single heap IS the shed tier, so the
+  /// shed-lowest decision here is exact: the globally worst resident (or
+  /// the incoming task, if it is worse) is the one dropped.
+  PushOutcome<TaskT> try_push(Place& p, int /*k*/, TaskT task) {
+    KPS_FAILPOINT("global.push.lock");
+    PushOutcome<TaskT> out;
     {
       std::lock_guard<std::mutex> lk(mutex_);
-      heap_.push(task);
+      if (gate_.at_capacity()) {
+        if (gate_.policy() == OverflowPolicy::reject) {
+          out.accepted = false;
+          p.counters->inc(Counter::push_rejected);
+          return out;
+        }
+        if (!heap_.empty()) {
+          const std::size_t w = heap_.worst_index();
+          if (TaskLess{}(task, heap_.at(w))) {
+            out.shed = heap_.extract_at(w);
+            heap_.push(std::move(task));
+            p.counters->inc(Counter::tasks_spawned);
+            p.counters->inc(Counter::tasks_shed);
+            return out;
+          }
+        }
+        out.accepted = false;
+        out.shed = std::move(task);
+        p.counters->inc(Counter::tasks_spawned);
+        p.counters->inc(Counter::tasks_shed);
+        return out;
+      }
+      heap_.push(std::move(task));
+      gate_.add(1);
     }
     p.counters->inc(Counter::tasks_spawned);
+    return out;
   }
 
   std::optional<TaskT> pop(Place& p) {
+    KPS_FAILPOINT("global.pop.lock");
     std::optional<TaskT> out;
     {
       std::lock_guard<std::mutex> lk(mutex_);
-      if (!heap_.empty()) out = heap_.pop();
+      if (!heap_.empty()) {
+        out = heap_.pop();
+        gate_.add(-1);
+      }
     }
     p.counters->inc(out ? Counter::tasks_executed : Counter::pop_failures);
     return out;
@@ -60,6 +100,7 @@ class GlobalLockedPq {
   StorageConfig cfg_;
   std::mutex mutex_;
   DaryHeap<TaskT, TaskLess, 4> heap_;
+  detail::CapacityGate gate_;
   std::vector<Place> places_;
   std::unique_ptr<StatsRegistry> owned_stats_;
 };

@@ -47,6 +47,7 @@
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
@@ -133,13 +134,74 @@ class HybridKpq {
       : cfg_(cfg), places_(places ? places : 1) {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
+    gate_.init(cfg_);
   }
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
 
   void push(Place& p, int k, TaskT task) {
+    (void)try_push(p, k, std::move(task));
+  }
+
+  /// Capacity-aware push.  Shed tier: the pusher's own tiers — private
+  /// heap first (the hot set it owns the lock for), else its own
+  /// published shard heap.  Foreign shards are never touched, so a shed
+  /// costs no cross-place coherence traffic.
+  PushOutcome<TaskT> try_push(Place& p, int k, TaskT task) {
+    PushOutcome<TaskT> out;
+    if (gate_.at_capacity()) {
+      if (gate_.policy() == OverflowPolicy::reject) {
+        out.accepted = false;
+        p.counters->inc(Counter::push_rejected);
+        return out;
+      }
+      p.private_lock.lock();
+      if (!p.private_heap.empty()) {
+        const std::size_t w = p.private_heap.worst_index();
+        if (TaskLess{}(task, p.private_heap.at(w))) {
+          out.shed = p.private_heap.extract_at(w);
+          p.private_heap.push(std::move(task));
+          p.publish_private_min();
+          p.private_lock.unlock();
+          p.counters->inc(Counter::tasks_spawned);
+          p.counters->inc(Counter::tasks_shed);
+          return out;
+        }
+        p.private_lock.unlock();
+      } else {
+        p.private_lock.unlock();
+        p.pub_lock.lock();
+        if (!p.pub_heap.empty()) {
+          const std::size_t w = p.pub_heap.worst_index();
+          if (TaskLess{}(task, p.pub_heap.at(w))) {
+            out.shed = p.pub_heap.extract_at(w);
+            p.pub_heap.push(std::move(task));
+            p.publish_pub_min();
+            p.pub_lock.unlock();
+            refresh_global_pub_min();
+            p.counters->inc(Counter::tasks_spawned);
+            p.counters->inc(Counter::tasks_shed);
+            return out;
+          }
+        }
+        p.pub_lock.unlock();
+      }
+      out.accepted = false;
+      out.shed = std::move(task);
+      p.counters->inc(Counter::tasks_spawned);
+      p.counters->inc(Counter::tasks_shed);
+      return out;
+    }
+
+    push_accepted(p, k, std::move(task));
+    return out;
+  }
+
+ private:
+  void push_accepted(Place& p, int k, TaskT task) {
     p.counters->inc(Counter::tasks_spawned);
+    gate_.add(1);
     if (k <= 0) {
       // k = 0: no relaxation budget — every push is its own publish.
       p.pub_lock.lock();
@@ -155,10 +217,14 @@ class HybridKpq {
     p.private_lock.lock();
     p.private_heap.push(task);
     ++p.pushes_since_publish;
+    // An injected attempt failure defers the publish without resetting
+    // the push counter, so the next push retries — temporal relaxation
+    // stretches (more unpublished tasks) but no task is lost.
     const bool publish =
-        cfg_.structural_relaxation
-            ? p.private_heap.size() >= static_cast<std::size_t>(k)
-            : p.pushes_since_publish >= static_cast<std::uint64_t>(k);
+        (cfg_.structural_relaxation
+             ? p.private_heap.size() >= static_cast<std::size_t>(k)
+             : p.pushes_since_publish >= static_cast<std::uint64_t>(k)) &&
+        !KPS_FAILPOINT_FAIL("hybrid.publish.attempt");
     if (!publish) {
       p.publish_private_min();
       p.private_lock.unlock();
@@ -179,6 +245,12 @@ class HybridKpq {
     p.pushes_since_publish = 0;
     p.publish_private_min();
     p.private_lock.unlock();
+
+    // Seam: between the private flush and the shard ingest the flushed
+    // tasks live only in flush_buf — invisible to every other place.  A
+    // stall here is the "publisher preempted mid-publish" scenario; the
+    // conservation harness proves the tasks reappear after release.
+    KPS_FAILPOINT("hybrid.publish.flush");
 
     const std::size_t flushed = p.flush_buf.size();
     p.pub_lock.lock();
@@ -206,6 +278,7 @@ class HybridKpq {
     p.counters->inc(Counter::published_items, flushed);
   }
 
+ public:
   std::optional<TaskT> pop(Place& p) {
     // Fast path: own private best, unless the published tier visibly holds
     // something better (the check keeps realized rank error small).  One
@@ -218,6 +291,7 @@ class HybridKpq {
         TaskT out = p.private_heap.pop();
         p.publish_private_min();
         p.private_lock.unlock();
+        gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
         return out;
       }
@@ -230,6 +304,7 @@ class HybridKpq {
       const std::size_t victim = best_published_place();
       if (victim == kNone) break;
       if (auto out = try_pop_published(places_[victim])) {
+        gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
         return out;
       }
@@ -243,6 +318,7 @@ class HybridKpq {
         TaskT out = p.private_heap.pop();
         p.publish_private_min();
         p.private_lock.unlock();
+        gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
         return out;
       }
@@ -252,6 +328,7 @@ class HybridKpq {
     // Spy: claim the best task still private to another place.
     if (cfg_.enable_spying) {
       if (auto out = spy(p)) {
+        gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
         return out;
       }
@@ -358,6 +435,9 @@ class HybridKpq {
     if (cfg_.max_segments <= 0) return;
     const auto limit = static_cast<std::size_t>(cfg_.max_segments);
     if (shard.seg_index.size() <= limit) return;
+    // Seam: stretch the spill critical section (pub_lock held) so racing
+    // pops pile up on the shard during the fold.
+    KPS_FAILPOINT("hybrid.spill");
     auto& heads = shard.spill_buf;
     heads.clear();
     while (!shard.seg_index.empty()) {
@@ -380,6 +460,9 @@ class HybridKpq {
   }
 
   std::optional<TaskT> try_pop_published(Place& shard) {
+    // Injected failure = the try_lock lost; the caller moves to the next
+    // shard (or gives up the attempt) exactly as under real contention.
+    if (KPS_FAILPOINT_FAIL("hybrid.pop.published")) return std::nullopt;
     if (!shard.pub_lock.try_lock()) return std::nullopt;
     std::optional<TaskT> out;
     const bool heap_has = !shard.pub_heap.empty();
@@ -412,6 +495,7 @@ class HybridKpq {
   }
 
   std::optional<TaskT> spy(Place& p) {
+    if (KPS_FAILPOINT_FAIL("hybrid.spy")) return std::nullopt;
     // Pick the victim advertising the best private task; never spin on a
     // victim's lock — its owner is on the hot path.
     double best = kEmptyMin;
@@ -439,6 +523,7 @@ class HybridKpq {
 
   StorageConfig cfg_;
   alignas(kCacheLine) std::atomic<double> global_pub_min_{kEmptyMin};
+  detail::CapacityGate gate_;
   std::vector<Place> places_;
   std::unique_ptr<StatsRegistry> owned_stats_;
 };

@@ -18,6 +18,8 @@
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
+#include "support/backoff.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
@@ -43,27 +45,85 @@ class MultiQueuePool {
     const std::size_t q = std::max<std::size_t>(
         2, places_.size() * std::max<std::size_t>(cfg.multiqueue_factor, 1));
     queues_ = std::vector<Queue>(q);
+    gate_.init(cfg_);
   }
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
 
-  void push(Place& p, int /*k*/, TaskT task) {
-    while (true) {
+  void push(Place& p, int k, TaskT task) {
+    (void)try_push(p, k, std::move(task));
+  }
+
+  /// Capacity-aware push.  Shed tier: one uniformly random queue (the
+  /// same distribution an admit would have landed in), traded under a
+  /// blocking lock — the shed path is off the fast path by construction.
+  PushOutcome<TaskT> try_push(Place& p, int /*k*/, TaskT task) {
+    PushOutcome<TaskT> out;
+    if (gate_.at_capacity()) {
+      if (gate_.policy() == OverflowPolicy::reject) {
+        out.accepted = false;
+        p.counters->inc(Counter::push_rejected);
+        return out;
+      }
       Queue& q = queues_[p.rng.next_bounded(queues_.size())];
-      if (!q.lock.try_lock()) continue;  // random retry beats waiting
-      q.heap.push(task);
+      q.lock.lock();
+      if (!q.heap.empty()) {
+        const std::size_t w = q.heap.worst_index();
+        if (TaskLess{}(task, q.heap.at(w))) {
+          out.shed = q.heap.extract_at(w);
+          q.heap.push(std::move(task));
+          q.publish_top();
+          q.lock.unlock();
+          p.counters->inc(Counter::tasks_spawned);
+          p.counters->inc(Counter::tasks_shed);
+          return out;
+        }
+      }
+      q.lock.unlock();
+      out.accepted = false;
+      out.shed = std::move(task);
+      p.counters->inc(Counter::tasks_spawned);
+      p.counters->inc(Counter::tasks_shed);
+      return out;
+    }
+
+    // Bounded retry (the PR-6 livelock fix): the old `while (true)
+    // try_lock a random queue` loop had no progress guarantee — under
+    // oversubscription or an injected-failure storm a pusher could spin
+    // forever.  Now: kMaxPushProbes random try_lock probes with capped
+    // exponential backoff, then one *blocking* lock, which the spinlock's
+    // own pause/yield ladder makes a guaranteed-progress path.
+    Backoff backoff;
+    while (!backoff.exhausted(kMaxPushProbes)) {
+      Queue& q = queues_[p.rng.next_bounded(queues_.size())];
+      if (KPS_FAILPOINT_FAIL("mq.push.lock") || !q.lock.try_lock()) {
+        backoff.spin();
+        continue;
+      }
+      q.heap.push(std::move(task));
       q.publish_top();
       q.lock.unlock();
-      break;
+      gate_.add(1);
+      p.counters->inc(Counter::tasks_spawned);
+      return out;
     }
+    Queue& q = queues_[p.rng.next_bounded(queues_.size())];
+    q.lock.lock();
+    q.heap.push(std::move(task));
+    q.publish_top();
+    q.lock.unlock();
+    gate_.add(1);
     p.counters->inc(Counter::tasks_spawned);
+    return out;
   }
 
   std::optional<TaskT> pop(Place& p) {
     // Random two-choices probes; fall back to a full sweep before giving
     // up so pop only fails when the pool really looked empty.
     for (int attempt = 0; attempt < 4; ++attempt) {
+      // Injected failure = this probe pair lost its race; next attempt.
+      if (KPS_FAILPOINT_FAIL("mq.pop.probe")) continue;
       const std::size_t a = p.rng.next_bounded(queues_.size());
       std::size_t b = p.rng.next_bounded(queues_.size());
       if (queues_.size() > 1 && b == a) b = (a + 1) % queues_.size();
@@ -72,12 +132,14 @@ class MultiQueuePool {
       if (ta == kEmptyTop && tb == kEmptyTop) continue;
       Queue& q = queues_[ta <= tb ? a : b];
       if (auto out = try_pop_queue(q)) {
+        gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
         return out;
       }
     }
     for (Queue& q : queues_) {
       if (auto out = try_pop_queue(q)) {
+        gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
         return out;
       }
@@ -88,6 +150,8 @@ class MultiQueuePool {
 
  private:
   static constexpr double kEmptyTop = std::numeric_limits<double>::infinity();
+  // try_lock probes before push falls back to a blocking lock.
+  static constexpr std::uint64_t kMaxPushProbes = 16;
 
   struct alignas(kCacheLine) Queue {
     Spinlock lock;
@@ -117,6 +181,7 @@ class MultiQueuePool {
 
   StorageConfig cfg_;
   std::vector<Queue> queues_;
+  detail::CapacityGate gate_;
   std::vector<Place> places_;
   std::unique_ptr<StatsRegistry> owned_stats_;
 };

@@ -6,6 +6,7 @@
 //   Storage s(places, config, &stats);      // stats optional
 //   auto& place = s.place(p);               // one handle per worker thread
 //   s.push(place, k, task);                 // k = relaxation window for op
+//   auto out = s.try_push(place, k, task);  // capacity-aware (PushOutcome)
 //   std::optional<Task> t = s.pop(place);   // nullopt <=> nothing found
 //
 // A Place handle must be driven by one thread at a time; handles of
@@ -14,6 +15,7 @@
 // legal) — the SSSP runner owns termination via its pending-task counter.
 #pragma once
 
+#include <atomic>
 #include <concepts>
 #include <cstddef>
 #include <cstdint>
@@ -26,6 +28,18 @@
 #include "support/stats.hpp"
 
 namespace kps {
+
+/// What try_push does when a bounded storage is at capacity:
+///   reject      — refuse the incoming task (caller keeps it; counter
+///                 push_rejected).  push() drops it on the floor, so
+///                 runner-driven workloads should use shed_lowest.
+///   shed_lowest — admit the incoming task if it beats the cheaply
+///                 reachable worst resident (which is evicted and
+///                 returned to the caller), else shed the incoming task;
+///                 counter tasks_shed.  "Cheaply reachable worst" is
+///                 tier-local per storage (DESIGN.md "Robustness" has the
+///                 exact shed tier of each storage).
+enum class OverflowPolicy : std::uint8_t { reject, shed_lowest };
 
 struct StorageConfig {
   // NOTE: designated initializers require this declaration order
@@ -69,6 +83,16 @@ struct StorageConfig {
   // <= 0 disables spilling (the PR-2 unbounded-accumulation behaviour).
   int max_segments = 64;
 
+  // Bounded-capacity backpressure (PR 6): an approximate cap on resident
+  // tasks across the whole storage.  0 = unbounded (the default; the
+  // capacity gate adds zero work to the hot path).  The count is kept by
+  // a single relaxed atomic, so P concurrent pushers racing the same last
+  // slot can transiently overshoot by at most P-1 tasks — the bound is a
+  // backpressure signal, not a hard allocation limit (DESIGN.md
+  // "Robustness").  Behaviour at the bound is overflow_policy's call.
+  std::size_t capacity = 0;
+  OverflowPolicy overflow_policy = OverflowPolicy::reject;
+
   /// Fail-fast validation, run by every storage constructor (and by the
   /// registry before it even picks a storage): returns an empty string
   /// for a usable config, else a diagnostic naming the bad field.  The
@@ -103,7 +127,69 @@ struct StorageConfig {
   }
 };
 
+/// Result of a bounded push (try_push).  Exactly one of three shapes:
+///
+///   {accepted=true,  shed=nullopt} — the task entered the storage.
+///   {accepted=true,  shed=t}       — the task entered; resident task `t`
+///                                    was evicted to make room
+///                                    (shed_lowest only).
+///   {accepted=false, shed=...}     — the incoming task did NOT enter:
+///                                    under reject `shed` is empty (the
+///                                    caller still owns the task it
+///                                    passed); under shed_lowest `shed`
+///                                    returns the incoming task itself,
+///                                    marking it dropped by policy.
+///
+/// Conservation accounting: a task left the system (or never entered it)
+/// iff `!accepted || shed` — the runner uses exactly that predicate to
+/// keep its pending counter truthful under overload.
+template <typename TaskT>
+struct PushOutcome {
+  bool accepted = true;
+  std::optional<TaskT> shed{};
+};
+
 namespace detail {
+
+/// Shared bounded-capacity bookkeeping: one approximate resident count
+/// behind one relaxed atomic, consulted only when cfg.capacity != 0 so
+/// unbounded configs (every pre-PR-6 caller) pay a single predictable
+/// branch.  Two pushers racing the last slot can both pass the gate —
+/// transient overshoot is bounded by the number of places and corrects on
+/// the next pops; see DESIGN.md "Robustness".
+class CapacityGate {
+ public:
+  void init(const StorageConfig& cfg) {
+    capacity_ = cfg.capacity;
+    policy_ = cfg.overflow_policy;
+  }
+
+  bool bounded() const { return capacity_ != 0; }
+  OverflowPolicy policy() const { return policy_; }
+
+  /// Pre-insert check: true = the storage is (approximately) full and the
+  /// overflow policy decides the task's fate.
+  bool at_capacity() const {
+    return bounded() &&
+           size_.load(std::memory_order_relaxed) >=
+               static_cast<std::int64_t>(capacity_);
+  }
+
+  /// +1 on insert, -1 on successful pop / evicted resident.  No-op while
+  /// unbounded.
+  void add(std::int64_t d) {
+    if (bounded()) size_.fetch_add(d, std::memory_order_relaxed);
+  }
+
+  std::int64_t size() const {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::size_t capacity_ = 0;
+  OverflowPolicy policy_ = OverflowPolicy::reject;
+  std::atomic<std::int64_t> size_{0};
+};
 
 /// Storages accept an optional external StatsRegistry; standalone uses
 /// (micro benches) get a private one.
@@ -150,6 +236,9 @@ concept TaskStorage = requires(S s, typename S::task_type task, int k) {
   { s.places() } -> std::convertible_to<std::size_t>;
   { s.place(std::size_t{0}) } -> std::same_as<typename S::Place&>;
   { s.push(s.place(0), k, task) };
+  {
+    s.try_push(s.place(0), k, task)
+  } -> std::same_as<PushOutcome<typename S::task_type>>;
   { s.pop(s.place(0)) } -> std::same_as<std::optional<typename S::task_type>>;
 };
 

@@ -13,6 +13,7 @@
 
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
@@ -38,16 +39,39 @@ class WsDequePool {
       : cfg_(cfg), places_(places ? places : 1) {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
+    gate_.init(cfg_);
   }
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
 
-  void push(Place& p, int /*k*/, TaskT task) {
+  void push(Place& p, int k, TaskT task) {
+    (void)try_push(p, k, std::move(task));
+  }
+
+  /// Capacity-aware push.  The deque is priority-oblivious, so there is
+  /// no "worst resident" to trade against: shed_lowest degenerates to
+  /// shedding the incoming task.  That is the honest semantics for this
+  /// A5 control — it cannot rank what it does not order.
+  PushOutcome<TaskT> try_push(Place& p, int /*k*/, TaskT task) {
+    PushOutcome<TaskT> out;
+    if (gate_.at_capacity()) {
+      out.accepted = false;
+      if (gate_.policy() == OverflowPolicy::reject) {
+        p.counters->inc(Counter::push_rejected);
+      } else {
+        out.shed = std::move(task);
+        p.counters->inc(Counter::tasks_spawned);
+        p.counters->inc(Counter::tasks_shed);
+      }
+      return out;
+    }
     p.lock.lock();
-    p.deque.push_back(task);
+    p.deque.push_back(std::move(task));
     p.lock.unlock();
+    gate_.add(1);
     p.counters->inc(Counter::tasks_spawned);
+    return out;
   }
 
   std::optional<TaskT> pop(Place& p) {
@@ -56,6 +80,7 @@ class WsDequePool {
       TaskT out = p.deque.back();
       p.deque.pop_back();
       p.lock.unlock();
+      gate_.add(-1);
       p.counters->inc(Counter::tasks_executed);
       return out;
     }
@@ -69,6 +94,7 @@ class WsDequePool {
         if (victim.index == p.index) continue;
         p.counters->inc(Counter::steal_attempts);
         if (auto out = steal_from(p, victim)) {
+          gate_.add(-1);
           p.counters->inc(Counter::tasks_executed);
           return out;
         }
@@ -80,6 +106,8 @@ class WsDequePool {
 
  private:
   std::optional<TaskT> steal_from(Place& p, Place& victim) {
+    // Injected failure = victim looked locked; move on to the next one.
+    if (KPS_FAILPOINT_FAIL("wsdeque.steal")) return std::nullopt;
     if (!victim.lock.try_lock()) return std::nullopt;
     std::optional<TaskT> out;
     if (!victim.deque.empty()) {
@@ -112,6 +140,7 @@ class WsDequePool {
   }
 
   StorageConfig cfg_;
+  detail::CapacityGate gate_;
   std::vector<Place> places_;
   std::unique_ptr<StatsRegistry> owned_stats_;
 };

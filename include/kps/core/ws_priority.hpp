@@ -18,6 +18,7 @@
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
+#include "support/failpoint.hpp"
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
@@ -43,16 +44,52 @@ class WsPriorityPool {
       : cfg_(cfg), places_(places ? places : 1) {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
+    gate_.init(cfg_);
   }
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
 
-  void push(Place& p, int /*k*/, TaskT task) {
+  void push(Place& p, int k, TaskT task) {
+    (void)try_push(p, k, std::move(task));
+  }
+
+  /// Capacity-aware push.  Shed tier: the pushing place's own heap — the
+  /// only structure it can inspect without cross-place locking, and where
+  /// the task would have lived anyway.
+  PushOutcome<TaskT> try_push(Place& p, int /*k*/, TaskT task) {
+    PushOutcome<TaskT> out;
+    if (gate_.at_capacity()) {
+      if (gate_.policy() == OverflowPolicy::reject) {
+        out.accepted = false;
+        p.counters->inc(Counter::push_rejected);
+        return out;
+      }
+      p.lock.lock();
+      if (!p.heap.empty()) {
+        const std::size_t w = p.heap.worst_index();
+        if (TaskLess{}(task, p.heap.at(w))) {
+          out.shed = p.heap.extract_at(w);
+          p.heap.push(std::move(task));
+          p.lock.unlock();
+          p.counters->inc(Counter::tasks_spawned);
+          p.counters->inc(Counter::tasks_shed);
+          return out;
+        }
+      }
+      p.lock.unlock();
+      out.accepted = false;
+      out.shed = std::move(task);
+      p.counters->inc(Counter::tasks_spawned);
+      p.counters->inc(Counter::tasks_shed);
+      return out;
+    }
     p.lock.lock();
-    p.heap.push(task);
+    p.heap.push(std::move(task));
     p.lock.unlock();
+    gate_.add(1);
     p.counters->inc(Counter::tasks_spawned);
+    return out;
   }
 
   std::optional<TaskT> pop(Place& p) {
@@ -60,6 +97,7 @@ class WsPriorityPool {
     if (!p.heap.empty()) {
       TaskT out = p.heap.pop();
       p.lock.unlock();
+      gate_.add(-1);
       p.counters->inc(Counter::tasks_executed);
       return out;
     }
@@ -74,6 +112,7 @@ class WsPriorityPool {
         if (victim.index == p.index) continue;
         p.counters->inc(Counter::steal_attempts);
         if (auto out = steal_from(p, victim)) {
+          gate_.add(-1);
           p.counters->inc(Counter::tasks_executed);
           return out;
         }
@@ -85,6 +124,9 @@ class WsPriorityPool {
 
  private:
   std::optional<TaskT> steal_from(Place& p, Place& victim) {
+    // Injected failure = victim looked locked; the caller's steal round
+    // simply moves on to the next victim.
+    if (KPS_FAILPOINT_FAIL("wsprio.steal")) return std::nullopt;
     if (!victim.lock.try_lock()) return std::nullopt;
     std::optional<TaskT> out;
     if (!victim.heap.empty()) {
@@ -109,6 +151,7 @@ class WsPriorityPool {
   }
 
   StorageConfig cfg_;
+  detail::CapacityGate gate_;
   std::vector<Place> places_;
   std::unique_ptr<StatsRegistry> owned_stats_;
 };

@@ -47,25 +47,50 @@ class DaryHeap {
     T out = std::move(a_.front());
     T last = std::move(a_.back());
     a_.pop_back();
-    if (a_.empty()) return out;
-
-    const std::size_t n = a_.size();
-    std::size_t hole = 0;
-    while (true) {
-      const std::size_t first = hole * D + 1;
-      if (first >= n) break;
-      const std::size_t end = first + D < n ? first + D : n;
-      std::size_t best = first;
-      for (std::size_t c = first + 1; c < end; ++c) {
-        if (less_(a_[c], a_[best])) best = c;
-      }
-      if (!less_(a_[best], last)) break;
-      a_[hole] = std::move(a_[best]);
-      hole = best;
-    }
-    a_[hole] = std::move(last);
+    if (!a_.empty()) place_at(0, std::move(last));
     return out;
   }
+
+  /// Index of the worst (greatest) element — an O(n) scan.  The worst of
+  /// a min-heap is always a leaf, but the leaf layer is (D-1)/D of the
+  /// array anyway; scanning everything keeps this trivially correct.
+  /// Precondition: !empty().
+  std::size_t worst_index() const {
+    std::size_t idx = 0;
+    for (std::size_t i = 1; i < a_.size(); ++i) {
+      if (less_(a_[idx], a_[i])) idx = i;
+    }
+    return idx;
+  }
+
+  /// Read-only element access (pair with worst_index() to compare the
+  /// resident worst against an incoming task without removing anything).
+  const T& at(std::size_t idx) const { return a_[idx]; }
+
+  /// Remove and return the element at `idx`, restoring the heap around
+  /// the hole.  O(depth); used by the shed-lowest overflow policy (and
+  /// generic enough for future cancellation support).
+  T extract_at(std::size_t idx) {
+    T out = std::move(a_[idx]);
+    T last = std::move(a_.back());
+    a_.pop_back();
+    if (idx < a_.size()) {
+      // `last` may belong above or below the hole; try up first, then
+      // place_at handles the downward leg.
+      std::size_t hole = idx;
+      while (hole > 0) {
+        const std::size_t parent = (hole - 1) / D;
+        if (!less_(last, a_[parent])) break;
+        a_[hole] = std::move(a_[parent]);
+        hole = parent;
+      }
+      place_at(hole, std::move(last));
+    }
+    return out;
+  }
+
+  /// Remove and return the worst element (shed-lowest's victim).
+  T extract_worst() { return extract_at(worst_index()); }
 
   /// Move every element into `out` (no ordering guarantee) and clear.
   /// Used by HybridKpq's publish flush: one memcpy-ish sweep, no sift work.
@@ -106,6 +131,25 @@ class DaryHeap {
   static constexpr std::size_t kNoLimit = static_cast<std::size_t>(-1);
 
  private:
+  /// Sift `v` down from `hole` to its resting place (the former pop()
+  /// inner loop, shared with extract_at()).
+  void place_at(std::size_t hole, T v) {
+    const std::size_t n = a_.size();
+    while (true) {
+      const std::size_t first = hole * D + 1;
+      if (first >= n) break;
+      const std::size_t end = first + D < n ? first + D : n;
+      std::size_t best = first;
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (less_(a_[c], a_[best])) best = c;
+      }
+      if (!less_(a_[best], v)) break;
+      a_[hole] = std::move(a_[best]);
+      hole = best;
+    }
+    a_[hole] = std::move(v);
+  }
+
   std::vector<T> a_;
   Less less_{};
 };

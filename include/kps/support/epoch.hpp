@@ -26,6 +26,7 @@
 #include <utility>
 #include <vector>
 
+#include "support/failpoint.hpp"
 #include "support/stats.hpp"  // kCacheLine
 
 namespace kps {
@@ -146,6 +147,11 @@ class EpochDomain {
   /// Advance is possible when every active record has observed the current
   /// epoch.  Returns the (possibly advanced) current epoch.
   std::uint64_t try_advance() {
+    // Injected failure = some record appeared pinned in an older epoch;
+    // reclamation stalls (garbage accumulates) but nothing is freed early.
+    if (KPS_FAILPOINT_FAIL("epoch.advance")) {
+      return global_epoch_.load(std::memory_order_acquire);
+    }
     // Pairs with the fence in pin(): without it a collector could miss a
     // concurrent pin (store-buffering) and advance past a live reader.
     std::atomic_thread_fence(std::memory_order_seq_cst);
@@ -180,6 +186,10 @@ inline void EpochThread::pin() {
   // read: a collector that misses it can only be freeing garbage from
   // epochs this thread can no longer reach.
   std::atomic_thread_fence(std::memory_order_seq_cst);
+  // Seam sits AFTER the announcement: a delay/stall here models a reader
+  // that pins and then goes quiet, which must block every collector's
+  // advance (the no-premature-reclaim invariant the stall test exercises).
+  KPS_FAILPOINT("epoch.pin");
 }
 
 inline void EpochThread::unpin() {
@@ -193,6 +203,7 @@ inline void EpochThread::retire(void* p, void (*deleter)(void*)) {
 }
 
 inline void EpochThread::collect() {
+  KPS_FAILPOINT("epoch.collect");
   const std::uint64_t e = domain_->try_advance();
   std::size_t kept = 0;
   for (auto& r : retired_) {

@@ -46,6 +46,8 @@
 #include <limits>
 #include <vector>
 
+#include "support/failpoint.hpp"
+
 namespace kps {
 
 class MinIndex {
@@ -82,6 +84,11 @@ class MinIndex {
   /// at the first level already ≤ v — whichever update made it ≤ v is
   /// still propagating its own (lower or equal) value upward.
   void note_min(std::size_t b, double v) {
+    // Injected failure = lost propagation: the cached min goes stale-HIGH,
+    // which every deployment tolerates by construction (centralized pop
+    // falls back to its full occupancy scan; the DES floor is a fidelity
+    // knob).  This seam proves that tolerance under thousands of schedules.
+    if (KPS_FAILPOINT_FAIL("minindex.note_min")) return;
     std::size_t idx = b;
     for (auto& level : levels_) {
       if (!cas_min(level[idx], v)) return;
@@ -97,6 +104,7 @@ class MinIndex {
   /// CASes performed (the min_heals counter).
   template <typename Recompute>
   std::uint64_t heal_block(std::size_t b, Recompute&& recompute) {
+    KPS_FAILPOINT("minindex.heal");  // widen the recompute/raise race window
     std::uint64_t heals = 0;
     auto& node = levels_.front()[b];
     double cur = node.load(std::memory_order_acquire);

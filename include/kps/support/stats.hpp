@@ -38,6 +38,8 @@ enum class Counter : std::size_t {
                        // their race (pop fell back to the window candidate)
   segment_merges,      // hybrid: pre-sorted runs ingested by published shards
   segment_spills,      // hybrid: cold-segment folds into the shard heap
+  push_rejected,       // bounded capacity: try_push refused (reject policy)
+  tasks_shed,          // bounded capacity: tasks dropped by shed-lowest
   kCount
 };
 

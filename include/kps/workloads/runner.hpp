@@ -40,6 +40,8 @@
 
 #include "core/relaxation_policy.hpp"
 #include "core/storage_traits.hpp"
+#include "support/backoff.hpp"
+#include "support/failpoint.hpp"
 #include "support/stats.hpp"
 
 namespace kps {
@@ -74,9 +76,19 @@ class RunnerHandle {
 
   /// Publish a child task.  The pending increment precedes the push: a
   /// sibling popping the child immediately still sees pending > 0.
+  ///
+  /// Backpressure contract: a bounded-capacity storage may reject the
+  /// child or shed a task (the child itself, or a worse resident it
+  /// displaced).  Either way exactly one task left the system without
+  /// being executed, so the optimistic increment is paid back here —
+  /// acq_rel, like the worker's post-expand decrement, because this
+  /// decrement too may be the one that releases a terminating peer.
   void spawn(task_type task) {
     pending_->fetch_add(1, std::memory_order_relaxed);
-    storage_->push(*place_, *k_, task);
+    const auto out = storage_->try_push(*place_, *k_, std::move(task));
+    if (!out.accepted || out.shed.has_value()) {
+      pending_->fetch_sub(1, std::memory_order_acq_rel);
+    }
   }
 
  private:
@@ -133,26 +145,34 @@ RunnerResult run_relaxed(Storage& storage, const Policy& policy,
     // Round-robin seeding: multi-seed workloads (DES populations) start
     // spread across places; a single seed lands at place 0 exactly like
     // the original SSSP loop.  Each seed uses its place's initial window.
-    storage.push(storage.place(i % P), locals[i % P].current_k, seeds[i]);
+    // Seeds obey the same backpressure accounting as spawns.
+    const auto out = storage.try_push(storage.place(i % P),
+                                      locals[i % P].current_k, seeds[i]);
+    if (!out.accepted || out.shed.has_value()) {
+      pending.fetch_sub(1, std::memory_order_relaxed);
+    }
   }
 
   auto worker = [&](std::size_t place_idx) {
     auto& place = storage.place(place_idx);
     Local& local = locals[place_idx];
     RunnerHandle<Storage> handle(storage, place, local.current_k, pending);
-    int idle_spins = 0;
+    // Capped exponential backoff on the idle path (replaces the flat
+    // yield-every-64 counter): idle places back off harder the longer the
+    // drought, instead of hammering pop() on shared state.
+    Backoff idle;
 
     while (true) {
-      auto task = storage.pop(place);
+      std::optional<typename Storage::task_type> task;
+      // Injected failure = the pop attempt itself was lost (a scheduler
+      // preemption at the worst moment); the loop must still terminate.
+      if (!KPS_FAILPOINT_FAIL("runner.pop")) task = storage.pop(place);
       if (!task) {
         if (pending.load(std::memory_order_acquire) == 0) break;
-        if (++idle_spins > 64) {
-          std::this_thread::yield();
-          idle_spins = 0;
-        }
+        idle.spin();
         continue;
       }
-      idle_spins = 0;
+      idle.reset();
 
       pop_hook(place_idx, *task);
       const bool useful = expand(handle, *task);

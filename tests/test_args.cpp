@@ -37,6 +37,23 @@ int main() {
   // Stray non-flag token.
   assert(!Args::check({"n", "5"}, workload, &err));
 
+  // Duplicate flags fail fast (the accessors return the FIRST occurrence,
+  // so a repeated flag would silently win with the value the operator
+  // thought they had overridden).  Both spellings, booleans included.
+  assert(!Args::check({"--n", "5", "--n", "9"}, workload, &err));
+  assert(err.find("duplicate flag") != std::string::npos);
+  assert(!Args::check({"--paper", "--paper"}, workload, &err));
+  assert(err.find("duplicate flag") != std::string::npos);
+  {
+    std::vector<std::string> v = {"--n=5", "--n", "9"};
+    assert(Args::split_attached(&v, &err));
+    assert(!Args::check(v, workload, &err));  // mixed spellings too
+    assert(err.find("duplicate flag") != std::string::npos);
+  }
+  // Same value twice is still a duplicate — the ambiguity is the flag
+  // appearing twice, not the values disagreeing.
+  assert(!Args::check({"--n", "5", "--n", "5"}, workload, &err));
+
   // Value flag with missing value.
   assert(!Args::check({"--n"}, workload, &err));
   assert(!Args::check({"--n", "--paper"}, workload, &err));

@@ -243,6 +243,78 @@ void emit_a16(const std::string& name, const A16Row& r) {
       r.exact ? "true" : "false");
 }
 
+// ------------------------------------------------- PR-6 robustness rows
+
+/// Failpoint seam overhead: single-place centralized push+pop churn —
+/// the hot path crossing the densest seam set (push.slot_cas,
+/// pop.claim_cas, minindex.note_min, heal.clear_bit).  Run identically
+/// on a default build and a -DKPS_FAILPOINTS=ON build with every seam
+/// disarmed; the pair of ns_per_op values bounds the disarmed seam cost
+/// (acceptance: <2%).  "failpoints_compiled" records which build this
+/// row came from so the two JSONs are self-describing.
+struct OverheadRow {
+  double seconds = 0;
+  double ns_per_op = 0;
+  bool exact = false;
+};
+
+OverheadRow measure_failpoint_overhead() {
+  using ChurnTask = Task<std::uint64_t, double>;
+  StorageConfig cfg;
+  cfg.k_max = 1024;
+  cfg.default_k = 1024;
+  StatsRegistry stats(1);
+  CentralizedKpq<ChurnTask> storage(1, cfg, &stats);
+  auto& place = storage.place(0);
+  Xoshiro256 rng(1);
+  std::uint64_t pushed = 0;
+  std::uint64_t recovered = 0;
+  const int kFill = 640;
+  const int kOps = 60000;
+  for (int i = 0; i < kFill; ++i) {
+    storage.push(place, 1024, {rng.next_unit(), pushed++});
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < kOps; ++i) {
+    storage.push(place, 1024, {rng.next_unit(), pushed++});
+    if (storage.pop(place)) ++recovered;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  while (storage.pop(place)) ++recovered;
+  OverheadRow row;
+  row.seconds = std::chrono::duration<double>(t1 - t0).count();
+  row.ns_per_op = row.seconds / (2.0 * kOps) * 1e9;
+  row.exact = recovered == pushed;
+  return row;
+}
+
+/// Bounded-capacity counter ledger: SSSP forced through a storage far
+/// smaller than its working set, once per overflow policy.  The row
+/// records the shed/reject counters so the baseline witnesses the
+/// accounting identity (spawned = executed + shed at quiescence for
+/// shed-lowest; rejected pushes never enter spawned at all).
+void emit_backpressure(const char* name, const SsspAggregate& a,
+                       bool last) {
+  std::printf(
+      "    \"%s\": {\"time_s\": %.6f, \"tasks_spawned\": %llu, "
+      "\"tasks_executed\": %llu, \"tasks_shed\": %llu, "
+      "\"push_rejected\": %llu, \"ledger_balanced\": %s}%s\n",
+      name, a.seconds.mean(),
+      static_cast<unsigned long long>(
+          a.counters.get(Counter::tasks_spawned)),
+      static_cast<unsigned long long>(
+          a.counters.get(Counter::tasks_executed)),
+      static_cast<unsigned long long>(a.counters.get(Counter::tasks_shed)),
+      static_cast<unsigned long long>(
+          a.counters.get(Counter::push_rejected)),
+      a.counters.get(Counter::tasks_spawned) ==
+              a.counters.get(Counter::tasks_executed) +
+                  a.counters.get(Counter::tasks_shed)
+          ? "true"
+          : "false",
+      last ? "" : ",");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -444,6 +516,28 @@ int main(int argc, char** argv) {
                         a16_big_row.exact
                     ? "true"
                     : "false");
+    std::printf("  },\n");
+  }
+
+  // PR-6 robustness rows: disarmed failpoint overhead on the densest
+  // seam path, plus the bounded-capacity shed/reject counter ledger.
+  {
+    std::printf("  \"robustness\": {\n");
+    const OverheadRow fo = measure_failpoint_overhead();
+    std::printf(
+        "    \"central_failpoint_overhead\": {\"time_s\": %.6f, "
+        "\"ns_per_op\": %.1f, \"failpoints_compiled\": %s, \"exact\": "
+        "%s},\n",
+        fo.seconds, fo.ns_per_op, fp::enabled() ? "true" : "false",
+        fo.exact ? "true" : "false");
+    StorageConfig bounded;
+    bounded.capacity = 512;
+    bounded.overflow_policy = OverflowPolicy::shed_lowest;
+    const auto shed = measure("centralized", graphs, P, k, bounded);
+    bounded.overflow_policy = OverflowPolicy::reject;
+    const auto rejected = measure("centralized", graphs, P, k, bounded);
+    emit_backpressure("centralized_capacity512_shed_lowest", shed, false);
+    emit_backpressure("centralized_capacity512_reject", rejected, true);
     std::printf("  },\n");
   }
 
