@@ -51,7 +51,7 @@ FloodResult publish_flood(int batch, int k, std::uint64_t ops) {
   FloodResult r;
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < ops; ++i) {
-    q.push(place, k, {rng.next_unit(), i});
+    kps::push(q, place, k, {rng.next_unit(), i});
   }
   const auto t1 = std::chrono::steady_clock::now();
   std::uint64_t got = 0;

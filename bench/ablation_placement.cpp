@@ -41,7 +41,7 @@ Outcome run(bool randomize, std::size_t threads, std::uint64_t per_thread,
       auto& place = storage.place(p);
       Xoshiro256 rng(p + 1);
       for (std::uint64_t i = 0; i < per_thread; ++i) {
-        storage.push(place, k, {rng.next_unit(), i});
+        kps::push(storage, place, k, {rng.next_unit(), i});
         if (i % 4 == 3) {  // keep the structure from growing unboundedly
           storage.pop(place);
           storage.pop(place);

@@ -42,7 +42,7 @@ RankStats measure(const std::string& name, int k, std::uint64_t tasks,
     const bool can_push = pushed < tasks;
     if (can_push && (live.empty() || rng.next_bounded(2) == 0)) {
       const double prio = rng.next_unit();
-      storage.push(storage.place(0), k, {prio, pushed});
+      kps::push(storage, storage.place(0), k, {prio, pushed});
       live.insert(prio);
       ++pushed;
     } else {

@@ -35,7 +35,7 @@ void churn_phase(bool structural, int k, std::uint64_t ops,
   Xoshiro256 rng(1);
   const auto t0 = std::chrono::steady_clock::now();
   for (std::uint64_t i = 0; i < ops; ++i) {
-    q.push(q.place(i & 1), k, {rng.next_unit(), i});
+    kps::push(q, q.place(i & 1), k, {rng.next_unit(), i});
     (void)q.pop(q.place(i & 1));
   }
   const auto t1 = std::chrono::steady_clock::now();

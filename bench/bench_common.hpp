@@ -53,10 +53,33 @@ class Args {
 
   Args(int argc, char** argv, std::vector<std::string> accepted) {
     for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+    // --help short-circuits validation: print what this bench accepts
+    // plus the storage capability table (PR 7) and exit cleanly.
+    for (const std::string& tok : args_) {
+      if (tok == "--help") {
+        std::string list;
+        for (const auto& a : accepted) list += " --" + a;
+        std::printf("accepted flags:%s --help\n", list.c_str());
+        print_capability_table();
+        std::exit(0);
+      }
+    }
     std::string err;
     if (!split_attached(&args_, &err) || !check(args_, accepted, &err)) {
       std::fprintf(stderr, "error: %s\n", err.c_str());
       std::exit(2);
+    }
+  }
+
+  /// Lifecycle capability matrix of every registered storage, as printed
+  /// by --help: which names honour cancel() / reprioritize().
+  static void print_capability_table() {
+    std::printf("registered storages (lifecycle capabilities):\n");
+    for (const StorageCapability& row : registry_capabilities()) {
+      std::printf("  %-12s cancel=%s reprioritize=%s\n",
+                  std::string(row.name).c_str(),
+                  row.caps.cancel ? "yes" : "no",
+                  row.caps.reprioritize ? "yes" : "no");
     }
   }
 
@@ -340,6 +363,31 @@ inline std::string storage_from_args(const Args& args,
     std::exit(2);
   }
   return name;
+}
+
+/// Fail-fast lifecycle-capability gate (PR 7, same philosophy as the
+/// unknown-name diagnostics): a bench that needs cancel or reprioritize
+/// refuses to run against a storage that would silently no-op it, and
+/// the error enumerates the whole capability table so the operator can
+/// pick a legal name without reading the source.
+inline void require_capability(const std::string& name, bool need_cancel,
+                               bool need_reprioritize) {
+  const auto caps = storage_caps_for(name);
+  if (!caps) {
+    std::fprintf(stderr, "error: unknown storage '%s' (registered:%s)\n",
+                 name.c_str(), storage_names_joined().c_str());
+    std::exit(2);
+  }
+  if ((need_cancel && !caps->cancel) ||
+      (need_reprioritize && !caps->reprioritize)) {
+    std::fprintf(stderr,
+                 "error: storage '%s' lacks a required lifecycle "
+                 "capability (need%s%s)\n",
+                 name.c_str(), need_cancel ? " cancel" : "",
+                 need_reprioritize ? " reprioritize" : "");
+    Args::print_capability_table();
+    std::exit(2);
+  }
 }
 
 inline std::vector<std::string> storages_from_args(

@@ -186,10 +186,14 @@ int main(int argc, char** argv) {
         const PlaceStats agg = stats.total();
         const std::uint64_t pops =
             run.nodes_relaxed + run.tasks_wasted;
+        // PR-7 ledger: cancellation is a third legal exit.  These runs
+        // never arm it, so the column doubles as a canary — a nonzero
+        // tasks_cancelled with lifecycle off is itself a bug.
         const bool ledger =
             agg.get(Counter::tasks_spawned) ==
             agg.get(Counter::tasks_executed) +
-                agg.get(Counter::tasks_shed);
+                agg.get(Counter::tasks_shed) +
+                agg.get(Counter::tasks_cancelled);
         std::printf(
             "%-12s %8.2f %9.4f %10llu %12.0f %8llu %7llu %7s %6s\n",
             name.c_str(), p, run.seconds,
@@ -274,7 +278,8 @@ int main(int argc, char** argv) {
           static_cast<std::uint64_t>(mult) * tasks * P;
       const bool ledger =
           agg.get(Counter::tasks_spawned) ==
-          agg.get(Counter::tasks_executed) + agg.get(Counter::tasks_shed);
+          agg.get(Counter::tasks_executed) + agg.get(Counter::tasks_shed) +
+              agg.get(Counter::tasks_cancelled);
       std::printf(
           "%-12s %4dx %9.4f %10llu %10llu %10llu %10llu %12.0f %7llu "
           "%7s\n",

@@ -26,7 +26,7 @@ void BM_OwnerPushPop(benchmark::State& state) {
   const int batch = 64;
   for (auto _ : state) {
     for (int i = 0; i < batch; ++i) {
-      storage.push(place, 512, {rng.next_unit(), static_cast<std::uint64_t>(i)});
+      kps::push(storage, place, 512, {rng.next_unit(), static_cast<std::uint64_t>(i)});
     }
     for (int i = 0; i < batch; ++i) {
       auto t = storage.pop(place);
@@ -50,7 +50,7 @@ void BM_ContendedPushPop(benchmark::State& state) {
   const int batch = 32;
   for (auto _ : state) {
     for (int i = 0; i < batch; ++i) {
-      storage.push(place, 64,
+      kps::push(storage, place, 64,
                    {rng.next_unit(), static_cast<std::uint64_t>(i)});
     }
     int got = 0;
@@ -81,10 +81,10 @@ void BM_CentralPopScan(benchmark::State& state) {
   auto& place = storage.place(0);
   Xoshiro256 rng(1);
   for (int i = 0; i < 64; ++i) {
-    storage.push(place, 4096, {rng.next_unit(), static_cast<std::uint64_t>(i)});
+    kps::push(storage, place, 4096, {rng.next_unit(), static_cast<std::uint64_t>(i)});
   }
   for (auto _ : state) {
-    storage.push(place, 4096, {rng.next_unit(), 0});
+    kps::push(storage, place, 4096, {rng.next_unit(), 0});
     auto t = storage.pop(place);
     benchmark::DoNotOptimize(t);
   }
@@ -114,10 +114,10 @@ void BM_CentralDenseWindow(benchmark::State& state) {
   auto& place = storage.place(0);
   Xoshiro256 rng(1);
   for (int i = 0; i < 2560; ++i) {
-    storage.push(place, 4096, {rng.next_unit(), static_cast<std::uint64_t>(i)});
+    kps::push(storage, place, 4096, {rng.next_unit(), static_cast<std::uint64_t>(i)});
   }
   for (auto _ : state) {
-    storage.push(place, 4096, {rng.next_unit(), 0});
+    kps::push(storage, place, 4096, {rng.next_unit(), 0});
     auto t = storage.pop(place);
     benchmark::DoNotOptimize(t);
   }

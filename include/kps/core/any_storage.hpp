@@ -9,6 +9,13 @@
 // choice becomes a runtime value (see core/storage_registry.hpp for the
 // name -> storage factory).
 //
+// Lifecycle passes straight through: cancel / reprioritize / caps /
+// lifecycle_enabled are forwarded virtually, so a TaskHandle minted by a
+// wrapped storage's try_push is redeemed against the same control block
+// regardless of which side of the facade issued the call.  caps() is a
+// static property of the wrapped type (capability-refused operations
+// return false / detached=false, same as on the concrete class).
+//
 // Cost model: one virtual call per push/pop plus an index lookup for the
 // concrete Place.  That is noise next to the storages' own work (CAS
 // loops, heap ops, lock handoffs) and is paid only by harnesses that opt
@@ -35,6 +42,7 @@ template <typename TaskT>
 class AnyStorage {
  public:
   using task_type = TaskT;
+  using priority_type = decltype(std::declval<TaskT>().priority);
 
   /// Facade-side place handle: just the index; the wrapped storage's own
   /// Place (with its counters, RNG, heaps, ...) is resolved per call.
@@ -53,39 +61,58 @@ class AnyStorage {
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
 
-  void push(Place& p, int k, TaskT task) {
-    model_->push(p.index, k, std::move(task));
-  }
-
   PushOutcome<TaskT> try_push(Place& p, int k, TaskT task) {
     return model_->try_push(p.index, k, std::move(task));
   }
 
   std::optional<TaskT> pop(Place& p) { return model_->pop(p.index); }
 
+  bool cancel(Place& p, TaskHandle h) { return model_->cancel(p.index, h); }
+
+  ReprioritizeOutcome<TaskT> reprioritize(Place& p, TaskHandle h,
+                                          priority_type priority) {
+    return model_->reprioritize(p.index, h, priority);
+  }
+
+  StorageCaps caps() const { return model_->caps(); }
+  bool lifecycle_enabled() const { return model_->lifecycle_enabled(); }
+
  private:
   struct Interface {
     virtual ~Interface() = default;
     virtual std::size_t places() = 0;
-    virtual void push(std::size_t place, int k, TaskT task) = 0;
     virtual PushOutcome<TaskT> try_push(std::size_t place, int k,
                                         TaskT task) = 0;
     virtual std::optional<TaskT> pop(std::size_t place) = 0;
+    virtual bool cancel(std::size_t place, TaskHandle h) = 0;
+    virtual ReprioritizeOutcome<TaskT> reprioritize(std::size_t place,
+                                                    TaskHandle h,
+                                                    priority_type priority) = 0;
+    virtual StorageCaps caps() const = 0;
+    virtual bool lifecycle_enabled() const = 0;
   };
 
   template <typename S>
   struct Model final : Interface {
     explicit Model(std::unique_ptr<S> s) : impl(std::move(s)) {}
     std::size_t places() override { return impl->places(); }
-    void push(std::size_t place, int k, TaskT task) override {
-      impl->push(impl->place(place), k, std::move(task));
-    }
     PushOutcome<TaskT> try_push(std::size_t place, int k,
                                 TaskT task) override {
       return impl->try_push(impl->place(place), k, std::move(task));
     }
     std::optional<TaskT> pop(std::size_t place) override {
       return impl->pop(impl->place(place));
+    }
+    bool cancel(std::size_t place, TaskHandle h) override {
+      return impl->cancel(impl->place(place), h);
+    }
+    ReprioritizeOutcome<TaskT> reprioritize(std::size_t place, TaskHandle h,
+                                            priority_type priority) override {
+      return impl->reprioritize(impl->place(place), h, priority);
+    }
+    StorageCaps caps() const override { return impl->caps(); }
+    bool lifecycle_enabled() const override {
+      return impl->lifecycle_enabled();
     }
     std::unique_ptr<S> impl;
   };

@@ -44,6 +44,14 @@
 // contract — only window tasks are bypassed.  Counters: tree_descents,
 // min_heals.
 //
+// Lifecycle (PR 7): window slots and the overflow heap hold LcEntry
+// nodes; a cancelled entry stays published as a tombstone until a pop's
+// claim CAS surfaces it, at which point it is reaped through exactly the
+// claim/retire path a live task takes (a tombstone claim resets the
+// attempt budget — a reap is progress, not a failed pop).  A window-full
+// push moves the ALREADY-WRAPPED entry into the overflow heap, so the
+// handle issued at wrap time stays redeemable across the tier change.
+//
 // Relaxation guarantee: only window tasks can be bypassed, so a pop's rank
 // error is bounded by k regardless of P (ablation A1 measures this).
 #pragma once
@@ -56,8 +64,10 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <utility>
 #include <vector>
 
+#include "core/lifecycle.hpp"
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
@@ -79,9 +89,11 @@
 namespace kps {
 
 template <typename TaskT>
-class CentralizedKpq {
+class CentralizedKpq
+    : public LifecycleOps<CentralizedKpq<TaskT>, TaskT> {
  public:
   using task_type = TaskT;
+  using Entry = detail::LcEntry<TaskT>;
 
   struct alignas(kCacheLine) Place {
     std::size_t index = 0;
@@ -101,6 +113,7 @@ class CentralizedKpq {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg, stats);
     gate_.init(cfg_);
+    this->ledger_.init(cfg_.enable_lifecycle);
     for (auto& s : window_) s.store(nullptr, std::memory_order_relaxed);
     for (auto& w : summary_) w.store(0, std::memory_order_relaxed);
     for (auto& p : places_) p.epoch = domain_.register_thread();
@@ -112,10 +125,7 @@ class CentralizedKpq {
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
-
-  void push(Place& p, int k, TaskT task) {
-    (void)try_push(p, k, std::move(task));
-  }
+  const StorageConfig& config() const { return cfg_; }
 
   /// Capacity-aware push.  Shed tier: the strict overflow heap — window
   /// tasks (the hot ≤ k_max set) are never shed, so at capacity the shed
@@ -125,37 +135,25 @@ class CentralizedKpq {
     PushOutcome<TaskT> out;
     if (gate_.at_capacity()) {
       if (gate_.policy() == OverflowPolicy::reject) {
-        out.accepted = false;
-        p.counters->inc(Counter::push_rejected);
-        return out;
+        return detail::reject_incoming<TaskT>(p.counters);
       }
       // shed_lowest: trade against the overflow tier under its lock, so
       // the eviction and the replacement insert are one atomic step and
       // the resident count is untouched.
       overflow_lock_.lock();
-      if (!overflow_.empty()) {
-        const std::size_t w = overflow_.worst_index();
-        if (TaskLess{}(task, overflow_.at(w))) {
-          out.shed = overflow_.extract_at(w);
-          overflow_.push(std::move(task));
-          publish_overflow_min();
-          overflow_lock_.unlock();
-          p.counters->inc(Counter::tasks_spawned);
-          p.counters->inc(Counter::tasks_shed);
-          return out;
-        }
+      if (detail::displace_worst(overflow_, task, this->ledger_,
+                                 p.counters, &out)) {
+        publish_overflow_min();
+        overflow_lock_.unlock();
+        return out;
       }
       overflow_lock_.unlock();
-      out.accepted = false;
-      out.shed = std::move(task);
-      p.counters->inc(Counter::tasks_spawned);
-      p.counters->inc(Counter::tasks_shed);
-      return out;
+      return detail::shed_incoming(std::move(task), p.counters);
     }
 
     p.counters->inc(Counter::tasks_spawned);
     const std::size_t window = window_size(k);
-    auto* node = new TaskT(task);
+    auto* node = new Entry(this->ledger_.wrap(std::move(task), &out.handle));
     // No epoch pin here: push only loads slot pointers and CASes
     // nullptr->node, never dereferencing a node another thread may have
     // retired — only pop pays the pin fence.
@@ -170,7 +168,7 @@ class CentralizedKpq {
       for (std::size_t i = 0; i < window; ++i) {
         const std::size_t idx = start + i < window ? start + i
                                                    : start + i - window;
-        TaskT* expected = window_[idx].load(std::memory_order_relaxed);
+        Entry* expected = window_[idx].load(std::memory_order_relaxed);
         if (expected != nullptr) continue;
         if (!KPS_FAILPOINT_FAIL("central.push.slot_cas") &&
             window_[idx].compare_exchange_strong(expected, node,
@@ -183,9 +181,10 @@ class CentralizedKpq {
       }
     }
     // Window full: the task leaves the relaxed tier for the strict heap.
+    // The wrapped entry moves tiers whole, keeping its handle redeemable.
     KPS_FAILPOINT("central.push.overflow");
     overflow_lock_.lock();
-    overflow_.push(task);
+    overflow_.push(std::move(*node));
     publish_overflow_min();
     overflow_lock_.unlock();
     gate_.add(1);
@@ -205,7 +204,7 @@ class CentralizedKpq {
     for (int attempt = 0; attempt < 3; ++attempt) {
       // Best published window node this scan (with the min-index on:
       // best node of the apparently-minimal word).
-      TaskT* best = nullptr;
+      Entry* best = nullptr;
       std::size_t best_idx = 0;
       if (hier_) {
         descend_best(p, &best, &best_idx);
@@ -217,15 +216,15 @@ class CentralizedKpq {
           if (best) {
             // Repair exactly the word the tree was hiding.
             min_index_.note_min(best_idx / 64,
-                                static_cast<double>(best->priority));
+                                static_cast<double>(best->task.priority));
           }
         }
       } else if (cfg_.occupancy_summary) {
         scan_summary(p, &best, &best_idx);
       } else {
         for (std::size_t i = 0; i < window; ++i) {
-          TaskT* node = window_[i].load(std::memory_order_acquire);
-          if (node && (!best || node->priority < best->priority)) {
+          Entry* node = window_[i].load(std::memory_order_acquire);
+          if (node && (!best || node->task.priority < best->task.priority)) {
             best = node;
             best_idx = i;
           }
@@ -241,7 +240,7 @@ class CentralizedKpq {
       }
 
       if (!best ||
-          heap_min < static_cast<double>(best->priority)) {
+          heap_min < static_cast<double>(best->task.priority)) {
         KPS_POP_OVERFLOW_RACE_HOOK();
         KPS_FAILPOINT("central.pop.overflow");
         overflow_lock_.lock();
@@ -249,17 +248,26 @@ class CentralizedKpq {
         // may have drained the good prefix of the heap, and popping its
         // NEW top here would return a strictly worse task than the
         // window node we already hold.  Take the heap only while it
-        // still beats `best`; otherwise fall back to the window CAS.
-        if (!overflow_.empty() &&
-            (!best || overflow_.top().priority < best->priority)) {
-          TaskT out = overflow_.pop();
-          publish_overflow_min();
-          overflow_lock_.unlock();
+        // still beats `best` — reaping any tombstones that surface, each
+        // of which re-exposes the next-best resident to the same check.
+        std::optional<TaskT> taken;
+        while (!overflow_.empty() &&
+               (!best ||
+                overflow_.top().task.priority < best->task.priority)) {
+          Entry e = overflow_.pop();
           gate_.add(-1);
-          p.counters->inc(Counter::tasks_executed);
-          return out;
+          if (this->ledger_.claim(e)) {
+            taken = std::move(e.task);
+            break;
+          }
+          p.counters->inc(Counter::tombstones_reaped);
         }
+        publish_overflow_min();
         overflow_lock_.unlock();
+        if (taken) {
+          p.counters->inc(Counter::tasks_executed);
+          return taken;
+        }
         if (best) {
           p.counters->inc(Counter::overflow_stale);
         } else {
@@ -267,19 +275,28 @@ class CentralizedKpq {
         }
       }
 
-      TaskT* expected = best;
+      Entry* expected = best;
       if (!KPS_FAILPOINT_FAIL("central.pop.claim_cas") &&
           window_[best_idx].compare_exchange_strong(
               expected, nullptr, std::memory_order_acq_rel,
               std::memory_order_relaxed)) {
-        TaskT out = *best;
+        const bool live = this->ledger_.claim(*best);
+        std::optional<TaskT> out;
+        if (live) out = best->task;
         if (cfg_.occupancy_summary) clear_bit_healed(best_idx);
         if (hier_) heal_word(p, best_idx / 64);
         p.epoch.retire(best,
-                       [](void* ptr) { delete static_cast<TaskT*>(ptr); });
+                       [](void* ptr) { delete static_cast<Entry*>(ptr); });
         gate_.add(-1);
-        p.counters->inc(Counter::tasks_executed);
-        return out;
+        if (live) {
+          p.counters->inc(Counter::tasks_executed);
+          return out;
+        }
+        // Tombstone reaped: that is progress, not a failed claim — spend
+        // a fresh attempt budget on the next-best candidate.
+        p.counters->inc(Counter::tombstones_reaped);
+        attempt = -1;
+        continue;
       }
       p.counters->inc(Counter::pop_cas_failures);
     }
@@ -302,12 +319,12 @@ class CentralizedKpq {
   /// flight) can hide a momentarily free slot; the worst case is a false
   /// overflow into the strict heap — never a lost task.
   bool push_summary_guided(Place& p, std::size_t window, std::size_t start,
-                           TaskT* node) {
+                           Entry* node) {
     // Snapshot before the CAS: the winning CAS publishes `node`, and a
     // racing pop may claim, retire, and (push being unpinned) free it
     // before this thread's next instruction — `node` is ours to read
     // only up to the publication point.
-    const double pri = static_cast<double>(node->priority);
+    const double pri = static_cast<double>(node->task.priority);
     const std::size_t words = (window + 63) / 64;
     for (std::size_t i = 0; i < words; ++i) {
       std::size_t w = start / 64 + i;
@@ -323,7 +340,7 @@ class CentralizedKpq {
         const std::size_t idx =
             base + static_cast<std::size_t>(std::countr_zero(free_bits));
         free_bits &= free_bits - 1;
-        TaskT* expected = window_[idx].load(std::memory_order_relaxed);
+        Entry* expected = window_[idx].load(std::memory_order_relaxed);
         if (expected != nullptr) continue;
         if (!KPS_FAILPOINT_FAIL("central.push.slot_cas") &&
             window_[idx].compare_exchange_strong(expected, node,
@@ -345,7 +362,7 @@ class CentralizedKpq {
   /// Scan one summary word's occupied slots, folding them into the
   /// running best; applies the lazy stale-set repair exactly like the
   /// full scan.  Returns slot pointers loaded.
-  std::uint64_t scan_word(std::size_t w, TaskT** best,
+  std::uint64_t scan_word(std::size_t w, Entry** best,
                           std::size_t* best_idx) {
     std::uint64_t slot_loads = 0;
     std::uint64_t occ = summary_[w].load(std::memory_order_acquire);
@@ -353,10 +370,10 @@ class CentralizedKpq {
       const std::size_t idx =
           w * 64 + static_cast<std::size_t>(std::countr_zero(occ));
       occ &= occ - 1;
-      TaskT* node = window_[idx].load(std::memory_order_acquire);
+      Entry* node = window_[idx].load(std::memory_order_acquire);
       ++slot_loads;
       if (node) {
-        if (!*best || node->priority < (*best)->priority) {
+        if (!*best || node->task.priority < (*best)->task.priority) {
           *best = node;
           *best_idx = idx;
         }
@@ -374,7 +391,7 @@ class CentralizedKpq {
   /// The PR-2 full occupancy scan: every summary word, every occupied
   /// slot.  The completeness baseline the hierarchical path falls back
   /// to.
-  void scan_summary(Place& p, TaskT** best, std::size_t* best_idx) {
+  void scan_summary(Place& p, Entry** best, std::size_t* best_idx) {
     std::uint64_t slot_loads = 0;
     p.counters->inc(Counter::summary_loads, summary_.size());
     for (std::size_t w = 0; w < summary_.size(); ++w) {
@@ -392,10 +409,10 @@ class CentralizedKpq {
       const std::size_t idx =
           w * 64 + static_cast<std::size_t>(std::countr_zero(occ));
       occ &= occ - 1;
-      TaskT* node = window_[idx].load(std::memory_order_acquire);
+      Entry* node = window_[idx].load(std::memory_order_acquire);
       ++*slot_loads;
       if (node) {
-        const double v = static_cast<double>(node->priority);
+        const double v = static_cast<double>(node->task.priority);
         if (v < m) m = v;
       }
     }
@@ -418,7 +435,7 @@ class CentralizedKpq {
   /// stale word (claimed out or raise-hidden) heals it from ground
   /// truth and retries; the caller falls back to the full scan when
   /// every descent misses.
-  void descend_best(Place& p, TaskT** best, std::size_t* best_idx) {
+  void descend_best(Place& p, Entry** best, std::size_t* best_idx) {
     for (int d = 0; d < kMaxDescents; ++d) {
       p.counters->inc(Counter::tree_descents);
       std::uint64_t heals = 0;
@@ -458,20 +475,21 @@ class CentralizedKpq {
   }
 
   void publish_overflow_min() {
-    overflow_min_.store(
-        overflow_.empty() ? kEmpty
-                          : static_cast<double>(overflow_.top().priority),
-        std::memory_order_release);
+    overflow_min_.store(overflow_.empty()
+                            ? kEmpty
+                            : static_cast<double>(
+                                  overflow_.top().task.priority),
+                        std::memory_order_release);
   }
 
   StorageConfig cfg_;
   EpochDomain domain_;  // declared before places_: EpochThreads must die first
-  std::vector<std::atomic<TaskT*>> window_;
+  std::vector<std::atomic<Entry*>> window_;
   std::vector<std::atomic<std::uint64_t>> summary_;  // 1 bit per window slot
   bool hier_;           // hierarchical_min requires the occupancy summary
   MinIndex min_index_;  // one cached min per summary word + d-ary tree
   Spinlock overflow_lock_;
-  DaryHeap<TaskT, TaskLess, 4> overflow_;
+  DaryHeap<Entry, detail::LcEntryLess, 4> overflow_;
   std::atomic<double> overflow_min_{kEmpty};
   detail::CapacityGate gate_;
   std::vector<Place> places_;

@@ -12,6 +12,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/lifecycle.hpp"
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
@@ -21,9 +22,11 @@
 namespace kps {
 
 template <typename TaskT>
-class GlobalLockedPq {
+class GlobalLockedPq
+    : public LifecycleOps<GlobalLockedPq<TaskT>, TaskT> {
  public:
   using task_type = TaskT;
+  using Entry = detail::LcEntry<TaskT>;
 
   struct Place {
     std::size_t index = 0;
@@ -36,14 +39,12 @@ class GlobalLockedPq {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
     gate_.init(cfg_);
+    this->ledger_.init(cfg_.enable_lifecycle);
   }
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
-
-  void push(Place& p, int k, TaskT task) {
-    (void)try_push(p, k, std::move(task));
-  }
+  const StorageConfig& config() const { return cfg_; }
 
   /// Capacity-aware push.  The single heap IS the shed tier, so the
   /// shed-lowest decision here is exact: the globally worst resident (or
@@ -55,27 +56,15 @@ class GlobalLockedPq {
       std::lock_guard<std::mutex> lk(mutex_);
       if (gate_.at_capacity()) {
         if (gate_.policy() == OverflowPolicy::reject) {
-          out.accepted = false;
-          p.counters->inc(Counter::push_rejected);
+          return detail::reject_incoming<TaskT>(p.counters);
+        }
+        if (detail::displace_worst(heap_, task, this->ledger_,
+                                   p.counters, &out)) {
           return out;
         }
-        if (!heap_.empty()) {
-          const std::size_t w = heap_.worst_index();
-          if (TaskLess{}(task, heap_.at(w))) {
-            out.shed = heap_.extract_at(w);
-            heap_.push(std::move(task));
-            p.counters->inc(Counter::tasks_spawned);
-            p.counters->inc(Counter::tasks_shed);
-            return out;
-          }
-        }
-        out.accepted = false;
-        out.shed = std::move(task);
-        p.counters->inc(Counter::tasks_spawned);
-        p.counters->inc(Counter::tasks_shed);
-        return out;
+        return detail::shed_incoming(std::move(task), p.counters);
       }
-      heap_.push(std::move(task));
+      heap_.push(this->ledger_.wrap(std::move(task), &out.handle));
       gate_.add(1);
     }
     p.counters->inc(Counter::tasks_spawned);
@@ -87,9 +76,14 @@ class GlobalLockedPq {
     std::optional<TaskT> out;
     {
       std::lock_guard<std::mutex> lk(mutex_);
-      if (!heap_.empty()) {
-        out = heap_.pop();
+      while (!heap_.empty()) {
+        Entry e = heap_.pop();
         gate_.add(-1);
+        if (this->ledger_.claim(e)) {
+          out = std::move(e.task);
+          break;
+        }
+        p.counters->inc(Counter::tombstones_reaped);
       }
     }
     p.counters->inc(out ? Counter::tasks_executed : Counter::pop_failures);
@@ -99,7 +93,7 @@ class GlobalLockedPq {
  private:
   StorageConfig cfg_;
   std::mutex mutex_;
-  DaryHeap<TaskT, TaskLess, 4> heap_;
+  DaryHeap<Entry, detail::LcEntryLess, 4> heap_;
   detail::CapacityGate gate_;
   std::vector<Place> places_;
   std::unique_ptr<StatsRegistry> owned_stats_;

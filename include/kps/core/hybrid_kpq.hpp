@@ -28,6 +28,14 @@
 //              idle places would stall until the next publish
 //              (ablation A2 measures exactly this).
 //
+// Lifecycle (PR 7): every container of every tier holds LcEntry, so a
+// task's control block rides along through publish flushes, segment
+// ingests, spills, and spies — a handle issued at push time stays
+// redeemable wherever the task has migrated.  Tombstones are reaped at
+// whichever claim point surfaces them (private pop, published heap or
+// segment head, spy), with a segment-head tombstone advancing the head
+// exactly like a consumed task.
+//
 // Relaxation guarantee: at most k tasks per place are unpublished at any
 // time, so a pop bypasses at most ρ = P·k better tasks (ablation A1).
 // Pops compare the own-private best against the published minima before
@@ -44,6 +52,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/lifecycle.hpp"
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
@@ -55,16 +64,17 @@
 namespace kps {
 
 template <typename TaskT>
-class HybridKpq {
+class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
  public:
   using task_type = TaskT;
+  using Entry = detail::LcEntry<TaskT>;
 
   /// One pre-sorted run inside a published shard; `head` indexes the best
   /// not-yet-consumed task.  Exhausted segments park their slot on a free
   /// list and their vector on a pool, so steady-state publishes allocate
   /// nothing.
   struct Segment {
-    std::vector<TaskT> run;
+    std::vector<Entry> run;
     std::size_t head = 0;
   };
 
@@ -90,7 +100,7 @@ class HybridKpq {
     // Private tier.  The lock is the owner's own cache line; spies only
     // try_lock it when the published tier is drained.
     Spinlock private_lock;
-    DaryHeap<TaskT, TaskLess, 4> private_heap;
+    DaryHeap<Entry, detail::LcEntryLess, 4> private_heap;
     std::uint64_t pushes_since_publish = 0;  // touched only under the lock
     std::atomic<double> private_min{kEmptyMin};
 
@@ -98,28 +108,29 @@ class HybridKpq {
     // singleton publishes (k = 0 / publish_batch <= 1) plus the sorted
     // segment store, everything below guarded by pub_lock.
     Spinlock pub_lock;
-    DaryHeap<TaskT, TaskLess, 4> pub_heap;
+    DaryHeap<Entry, detail::LcEntryLess, 4> pub_heap;
     std::vector<Segment> segments;            // slot-addressed
     std::vector<std::uint32_t> segment_free;  // recycled slots
     DaryHeap<SegHead, SegHeadLess, 4> seg_index;
-    std::vector<std::vector<TaskT>> run_pool;  // recycled run capacity
+    std::vector<std::vector<Entry>> run_pool;  // recycled run capacity
     std::atomic<double> pub_min{kEmptyMin};
 
-    std::vector<TaskT> flush_buf;    // reused publish buffer
+    std::vector<Entry> flush_buf;    // reused publish buffer
     std::vector<SegHead> spill_buf;  // reused segment-spill scratch
 
     void publish_private_min() {
-      private_min.store(private_heap.empty()
-                            ? kEmptyMin
-                            : static_cast<double>(private_heap.top().priority),
-                        std::memory_order_release);
+      private_min.store(
+          private_heap.empty()
+              ? kEmptyMin
+              : static_cast<double>(private_heap.top().task.priority),
+          std::memory_order_release);
     }
     /// Best task anywhere in this shard (heap or a segment head).
     /// Requires pub_lock.
     double shard_min() const {
       double m = pub_heap.empty()
                      ? kEmptyMin
-                     : static_cast<double>(pub_heap.top().priority);
+                     : static_cast<double>(pub_heap.top().task.priority);
       if (!seg_index.empty() && seg_index.top().priority < m) {
         m = seg_index.top().priority;
       }
@@ -135,14 +146,12 @@ class HybridKpq {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
     gate_.init(cfg_);
+    this->ledger_.init(cfg_.enable_lifecycle);
   }
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
-
-  void push(Place& p, int k, TaskT task) {
-    (void)try_push(p, k, std::move(task));
-  }
+  const StorageConfig& config() const { return cfg_; }
 
   /// Capacity-aware push.  Shed tier: the pusher's own tiers — private
   /// heap first (the hot set it owns the lock for), else its own
@@ -152,60 +161,44 @@ class HybridKpq {
     PushOutcome<TaskT> out;
     if (gate_.at_capacity()) {
       if (gate_.policy() == OverflowPolicy::reject) {
-        out.accepted = false;
-        p.counters->inc(Counter::push_rejected);
-        return out;
+        return detail::reject_incoming<TaskT>(p.counters);
       }
       p.private_lock.lock();
       if (!p.private_heap.empty()) {
-        const std::size_t w = p.private_heap.worst_index();
-        if (TaskLess{}(task, p.private_heap.at(w))) {
-          out.shed = p.private_heap.extract_at(w);
-          p.private_heap.push(std::move(task));
+        if (detail::displace_worst(p.private_heap, task, this->ledger_,
+                                   p.counters, &out)) {
           p.publish_private_min();
           p.private_lock.unlock();
-          p.counters->inc(Counter::tasks_spawned);
-          p.counters->inc(Counter::tasks_shed);
           return out;
         }
         p.private_lock.unlock();
       } else {
         p.private_lock.unlock();
         p.pub_lock.lock();
-        if (!p.pub_heap.empty()) {
-          const std::size_t w = p.pub_heap.worst_index();
-          if (TaskLess{}(task, p.pub_heap.at(w))) {
-            out.shed = p.pub_heap.extract_at(w);
-            p.pub_heap.push(std::move(task));
-            p.publish_pub_min();
-            p.pub_lock.unlock();
-            refresh_global_pub_min();
-            p.counters->inc(Counter::tasks_spawned);
-            p.counters->inc(Counter::tasks_shed);
-            return out;
-          }
+        if (detail::displace_worst(p.pub_heap, task, this->ledger_,
+                                   p.counters, &out)) {
+          p.publish_pub_min();
+          p.pub_lock.unlock();
+          refresh_global_pub_min();
+          return out;
         }
         p.pub_lock.unlock();
       }
-      out.accepted = false;
-      out.shed = std::move(task);
-      p.counters->inc(Counter::tasks_spawned);
-      p.counters->inc(Counter::tasks_shed);
-      return out;
+      return detail::shed_incoming(std::move(task), p.counters);
     }
 
-    push_accepted(p, k, std::move(task));
+    push_accepted(p, k, std::move(task), &out.handle);
     return out;
   }
 
  private:
-  void push_accepted(Place& p, int k, TaskT task) {
+  void push_accepted(Place& p, int k, TaskT task, TaskHandle* handle) {
     p.counters->inc(Counter::tasks_spawned);
     gate_.add(1);
     if (k <= 0) {
       // k = 0: no relaxation budget — every push is its own publish.
       p.pub_lock.lock();
-      p.pub_heap.push(task);
+      p.pub_heap.push(this->ledger_.wrap(std::move(task), handle));
       p.publish_pub_min();
       p.pub_lock.unlock();
       refresh_global_pub_min();
@@ -215,7 +208,7 @@ class HybridKpq {
     }
 
     p.private_lock.lock();
-    p.private_heap.push(task);
+    p.private_heap.push(this->ledger_.wrap(std::move(task), handle));
     ++p.pushes_since_publish;
     // An injected attempt failure defers the publish without resetting
     // the push counter, so the next push retries — temporal relaxation
@@ -268,7 +261,7 @@ class HybridKpq {
         }
       }
     } else {
-      for (TaskT& t : p.flush_buf) p.pub_heap.push(t);
+      for (Entry& e : p.flush_buf) p.pub_heap.push(std::move(e));
     }
     maybe_spill_segments(p);
     p.publish_pub_min();
@@ -283,18 +276,24 @@ class HybridKpq {
     // Fast path: own private best, unless the published tier visibly holds
     // something better (the check keeps realized rank error small).  One
     // acquire load of the cached global minimum — the O(P) shard sweep
-    // happens only on published-tier mutations, never here.
+    // happens only on published-tier mutations, never here.  Tombstones
+    // surfacing at the top are reaped in place, re-exposing the next best
+    // to the same redirect check.
     p.private_lock.lock();
-    if (!p.private_heap.empty()) {
-      const double mine = static_cast<double>(p.private_heap.top().priority);
-      if (global_pub_min_.load(std::memory_order_acquire) >= mine) {
-        TaskT out = p.private_heap.pop();
-        p.publish_private_min();
+    while (!p.private_heap.empty()) {
+      const double mine =
+          static_cast<double>(p.private_heap.top().task.priority);
+      if (global_pub_min_.load(std::memory_order_acquire) < mine) break;
+      Entry e = p.private_heap.pop();
+      p.publish_private_min();
+      if (this->ledger_.claim(e)) {
         p.private_lock.unlock();
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
-        return out;
+        return std::move(e.task);
       }
+      p.counters->inc(Counter::tombstones_reaped);
+      gate_.add(-1);
     }
     const bool had_private = !p.private_heap.empty();
     p.private_lock.unlock();
@@ -303,7 +302,7 @@ class HybridKpq {
     for (std::size_t attempt = 0; attempt < places_.size() + 1; ++attempt) {
       const std::size_t victim = best_published_place();
       if (victim == kNone) break;
-      if (auto out = try_pop_published(places_[victim])) {
+      if (auto out = try_pop_published(places_[victim], p)) {
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
         return out;
@@ -314,13 +313,17 @@ class HybridKpq {
     // (they exist if the tier check above redirected us here on a race).
     if (had_private) {
       p.private_lock.lock();
-      if (!p.private_heap.empty()) {
-        TaskT out = p.private_heap.pop();
+      while (!p.private_heap.empty()) {
+        Entry e = p.private_heap.pop();
         p.publish_private_min();
-        p.private_lock.unlock();
+        if (this->ledger_.claim(e)) {
+          p.private_lock.unlock();
+          gate_.add(-1);
+          p.counters->inc(Counter::tasks_executed);
+          return std::move(e.task);
+        }
+        p.counters->inc(Counter::tombstones_reaped);
         gate_.add(-1);
-        p.counters->inc(Counter::tasks_executed);
-        return out;
       }
       p.private_lock.unlock();
     }
@@ -387,14 +390,14 @@ class HybridKpq {
     Segment& s = shard.segments[slot];
     s.head = 0;
     shard.seg_index.push(
-        {static_cast<double>(s.run.front().priority), slot});
+        {static_cast<double>(s.run.front().task.priority), slot});
   }
 
   /// Segment-merge entry point: splice a pre-sorted ascending run into
   /// `shard`'s published tier as one segment — O(log S) against the
   /// segment-head index, independent of the run length and of the shard
   /// heap's size.  Requires shard.pub_lock; caller refreshes the minima.
-  void ingest_sorted_run(Place& shard, TaskT* first, std::size_t count) {
+  void ingest_sorted_run(Place& shard, Entry* first, std::size_t count) {
     const std::uint32_t slot = acquire_segment(shard);
     Segment& s = shard.segments[slot];
     if (s.run.capacity() == 0 && !shard.run_pool.empty()) {
@@ -409,7 +412,7 @@ class HybridKpq {
   /// Copy-free variant for a run that fits one segment: swap the owner's
   /// flush buffer with the segment's vector, leaving recycled capacity
   /// behind for the next flush.  Requires shard.pub_lock.
-  void ingest_sorted_run_swap(Place& shard, std::vector<TaskT>& run_buf) {
+  void ingest_sorted_run_swap(Place& shard, std::vector<Entry>& run_buf) {
     const std::uint32_t slot = acquire_segment(shard);
     Segment& s = shard.segments[slot];
     s.run.clear();
@@ -452,45 +455,62 @@ class HybridKpq {
       }
       s.run.clear();
       shard.run_pool.push_back(std::move(s.run));
-      s.run = std::vector<TaskT>();
+      s.run = std::vector<Entry>();
       s.head = 0;
       shard.segment_free.push_back(heads[i].seg);
     }
     shard.counters->inc(Counter::segment_spills);
   }
 
-  std::optional<TaskT> try_pop_published(Place& shard) {
+  /// Pop the best published task of `shard` on behalf of popping place
+  /// `p` (whose counters take the reap credit).  Tombstones are consumed
+  /// in place — a segment-head tombstone advances the head like any
+  /// consumed head — until a live task or an empty shard stops the loop.
+  std::optional<TaskT> try_pop_published(Place& shard, Place& p) {
     // Injected failure = the try_lock lost; the caller moves to the next
     // shard (or gives up the attempt) exactly as under real contention.
     if (KPS_FAILPOINT_FAIL("hybrid.pop.published")) return std::nullopt;
     if (!shard.pub_lock.try_lock()) return std::nullopt;
     std::optional<TaskT> out;
-    const bool heap_has = !shard.pub_heap.empty();
-    const bool seg_has = !shard.seg_index.empty();
-    if (seg_has &&
-        (!heap_has || shard.seg_index.top().priority <=
-                          static_cast<double>(shard.pub_heap.top().priority))) {
-      const SegHead h = shard.seg_index.pop();
-      Segment& s = shard.segments[h.seg];
-      out = std::move(s.run[s.head]);
-      ++s.head;
-      if (s.head < s.run.size()) {
-        shard.seg_index.push(
-            {static_cast<double>(s.run[s.head].priority), h.seg});
+    bool touched = false;
+    for (;;) {
+      const bool heap_has = !shard.pub_heap.empty();
+      const bool seg_has = !shard.seg_index.empty();
+      if (!heap_has && !seg_has) break;
+      Entry e;
+      if (seg_has &&
+          (!heap_has ||
+           shard.seg_index.top().priority <=
+               static_cast<double>(shard.pub_heap.top().task.priority))) {
+        const SegHead h = shard.seg_index.pop();
+        Segment& s = shard.segments[h.seg];
+        e = std::move(s.run[s.head]);
+        ++s.head;
+        if (s.head < s.run.size()) {
+          shard.seg_index.push(
+              {static_cast<double>(s.run[s.head].task.priority), h.seg});
+        } else {
+          // Exhausted: recycle slot and run capacity.
+          s.run.clear();
+          shard.run_pool.push_back(std::move(s.run));
+          s.run = std::vector<Entry>();
+          s.head = 0;
+          shard.segment_free.push_back(h.seg);
+        }
       } else {
-        // Exhausted: recycle slot and run capacity.
-        s.run.clear();
-        shard.run_pool.push_back(std::move(s.run));
-        s.run = std::vector<TaskT>();
-        s.head = 0;
-        shard.segment_free.push_back(h.seg);
+        e = shard.pub_heap.pop();
       }
-    } else if (heap_has) {
-      out = shard.pub_heap.pop();
+      touched = true;
+      if (this->ledger_.claim(e)) {
+        out = std::move(e.task);
+        break;
+      }
+      p.counters->inc(Counter::tombstones_reaped);
+      gate_.add(-1);
     }
-    if (out) shard.publish_pub_min();
+    if (touched) shard.publish_pub_min();
     shard.pub_lock.unlock();
-    if (out) refresh_global_pub_min();
+    if (touched) refresh_global_pub_min();
     return out;
   }
 
@@ -512,9 +532,15 @@ class HybridKpq {
     Place& victim = places_[idx];
     if (!victim.private_lock.try_lock()) return std::nullopt;
     std::optional<TaskT> out;
-    if (!victim.private_heap.empty()) {
-      out = victim.private_heap.pop();
+    while (!victim.private_heap.empty()) {
+      Entry e = victim.private_heap.pop();
       victim.publish_private_min();
+      if (this->ledger_.claim(e)) {
+        out = std::move(e.task);
+        break;
+      }
+      p.counters->inc(Counter::tombstones_reaped);
+      gate_.add(-1);
     }
     victim.private_lock.unlock();
     if (out) p.counters->inc(Counter::spied_items);

@@ -1,0 +1,381 @@
+// Task lifecycle (PR 7): handle-based cancellation and re-prioritization
+// for every storage, via position-independent tombstone control blocks.
+//
+// The problem with erase in a relaxed task storage is that a task has no
+// stable address: it migrates between tiers (hybrid publishes, steals,
+// segment spills) and lives inline in heaps where removal is O(n) to even
+// find.  The classic RTOS answer (SNIPPETS.md snippet 1's
+// `priority_task_queue_delete`) walks the queue; that is O(n) under a
+// lock and impossible across tiers.  Instead every lifecycle-tracked task
+// carries a pointer to a pooled control block — the tombstone — and all
+// lifecycle operations act on the block, never on the container:
+//
+//   cancel        — one CAS flips the block live -> cancelled.  O(1), from
+//                   any thread, regardless of where the task currently
+//                   sits.  The entry itself stays in its container as a
+//                   tombstone and is REAPED lazily by whichever pop path
+//                   eventually surfaces it (counter: tombstones_reaped).
+//   reprioritize  — decrease-key as tombstone + re-push: detach the live
+//                   block (same CAS as cancel, plus the block's task copy
+//                   comes back), then push the task again with the new
+//                   priority.  The ledger counts the detach as a cancel
+//                   and the re-push as a spawn, so the conservation
+//                   equation stays exact:
+//                       spawned == executed + shed + cancelled.
+//   claim         — the pop-side gate: every storage, after winning
+//                   exclusive ownership of an entry (heap pop, slot CAS,
+//                   deque pop, segment-head advance), claims the block.
+//                   live -> the popper owns the task; cancelled -> the
+//                   entry is reaped in place and the pop keeps scanning.
+//
+// Memory reclamation: blocks are type-stable — owned by the ledger's
+// chunked pool for the storage's whole lifetime and recycled through a
+// free list, so a stale TaskHandle can always be dereferenced safely
+// (the same guarantee the epoch domain gives the centralized window's
+// nodes, enforced here by never returning block memory mid-run).  ABA on
+// recycling is closed by a generation counter packed into the state word:
+// cancel CASes the full {generation, state} word, so a handle to a
+// recycled block mismatches on generation and fails cleanly.  Claim and
+// reap are only ever executed by the entry's exclusive owner, so a block
+// has exactly one releaser.
+//
+// Cost when unused (StorageConfig::enable_lifecycle == false, the
+// default): entries carry a null block pointer and every pop pays one
+// predictable branch; no block is ever allocated.  bench_baseline's
+// tombstone_overhead row holds this under 5%.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "support/failpoint.hpp"
+#include "support/spinlock.hpp"
+#include "support/stats.hpp"
+
+namespace kps {
+
+/// Opaque ticket for one residency of one task inside one storage.  The
+/// fields are an implementation detail (treat the handle as a value);
+/// validity only means "the push that produced it admitted the task" —
+/// a handle goes stale, harmlessly, the moment its task is popped,
+/// shed, reaped, or reprioritized.  Handles must only be redeemed at
+/// the storage that issued them.
+struct TaskHandle {
+  void* node = nullptr;
+  std::uint64_t gen = 0;
+
+  bool valid() const { return node != nullptr; }
+};
+
+/// Result of a bounded push (try_push).  Exactly one of three shapes:
+///
+///   {accepted=true,  shed=nullopt} — the task entered the storage.
+///   {accepted=true,  shed=t}       — the task entered; resident task `t`
+///                                    was evicted to make room
+///                                    (shed_lowest only).
+///   {accepted=false, shed=...}     — the incoming task did NOT enter:
+///                                    under reject `shed` is empty (the
+///                                    caller still owns the task it
+///                                    passed); under shed_lowest `shed`
+///                                    returns the incoming task itself,
+///                                    marking it dropped by policy.
+///
+/// Conservation accounting: a task left the system (or never entered it)
+/// iff `!accepted || shed` — the runner uses exactly that predicate to
+/// keep its pending counter truthful under overload.
+///
+/// `handle` is the task's lifecycle ticket: valid iff the task entered a
+/// lifecycle-enabled storage (always invalid when accepted is false or
+/// StorageConfig::enable_lifecycle is off).
+template <typename TaskT>
+struct PushOutcome {
+  bool accepted = true;
+  std::optional<TaskT> shed{};
+  TaskHandle handle{};
+};
+
+/// What a reprioritize call did.  `detached` means this call won the
+/// tombstone race and owns the task's move; `requeue` then reports the
+/// re-push exactly like any try_push (the task re-entered — its new
+/// ticket is requeue.handle — possibly displacing a resident; or was
+/// itself rejected/shed at capacity, in which case it LEFT the system
+/// and the caller's pending accounting must treat it like a shed
+/// spawn).  `!detached` means the task was already consumed, cancelled,
+/// or moved by somebody else; nothing changed.
+template <typename TaskT>
+struct ReprioritizeOutcome {
+  bool detached = false;
+  PushOutcome<TaskT> requeue{};
+};
+
+namespace detail {
+
+// State word layout: (generation << 2) | state.  Generation bumps on
+// every allocation, making stale-handle CASes fail on the whole word.
+inline constexpr std::uint64_t kLcFree = 0;       // on the free list
+inline constexpr std::uint64_t kLcLive = 1;       // resident, claimable
+inline constexpr std::uint64_t kLcCancelled = 2;  // tombstone, awaiting reap
+inline constexpr std::uint64_t kLcStateMask = 3;
+
+/// One pooled control block.  Cache-line sized so a cancel's CAS never
+/// false-shares with a neighbouring block's claim.  `task` is the copy
+/// reprioritize re-pushes (written only before the live-publishing
+/// store, read only after a successful detach CAS).
+template <typename TaskT>
+struct alignas(kCacheLine) LifecycleNode {
+  std::atomic<std::uint64_t> word{0};
+  TaskT task{};
+  LifecycleNode* next = nullptr;  // free-list link, touched under the pool lock
+};
+
+/// The element type every storage container actually holds: the task
+/// plus its (possibly null) control block.  Ordering is by task
+/// priority alone, exactly like TaskLess.
+template <typename TaskT>
+struct LcEntry {
+  TaskT task{};
+  LifecycleNode<TaskT>* lc = nullptr;
+};
+
+struct LcEntryLess {
+  template <typename TaskT>
+  bool operator()(const LcEntry<TaskT>& a, const LcEntry<TaskT>& b) const {
+    return a.task.priority < b.task.priority;
+  }
+};
+
+/// Per-storage control-block pool + the lifecycle state machine.  The
+/// pool lock guards only the free list and chunk growth — state
+/// transitions are lock-free CASes on the blocks themselves.
+template <typename TaskT>
+class LifecycleLedger {
+ public:
+  using Node = LifecycleNode<TaskT>;
+  using Entry = LcEntry<TaskT>;
+
+  void init(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  /// Wrap a task for insertion.  Tracking disabled: null block, invalid
+  /// handle, zero cost beyond the branch.  Enabled: allocate a block,
+  /// copy the task in, publish it live under a fresh generation.
+  Entry wrap(TaskT task, TaskHandle* handle) {
+    if (!enabled_) {
+      *handle = {};
+      return {std::move(task), nullptr};
+    }
+    Node* n = acquire();
+    n->task = task;
+    const std::uint64_t gen = (n->word.load(std::memory_order_relaxed) >> 2) + 1;
+    n->word.store((gen << 2) | kLcLive, std::memory_order_release);
+    *handle = {n, gen};
+    return {std::move(task), n};
+  }
+
+  /// Tombstone a live residency.  False: stale handle (task already
+  /// consumed/shed/moved), already cancelled, or the injected-fault seam
+  /// ate the attempt (the task simply stays live — a lost cancel is
+  /// always safe).
+  bool cancel(TaskHandle h) {
+    if (!enabled_ || !h.valid()) return false;
+    if (KPS_FAILPOINT_FAIL("lifecycle.cancel")) return false;
+    auto* n = static_cast<Node*>(h.node);
+    std::uint64_t expected = (h.gen << 2) | kLcLive;
+    return n->word.compare_exchange_strong(expected,
+                                           (h.gen << 2) | kLcCancelled,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_relaxed);
+  }
+
+  /// Reprioritize's first half: tombstone the live residency AND take
+  /// the task copy for the re-push.  The copy is read only after the
+  /// winning CAS, and the block cannot be recycled until its entry is
+  /// reaped, so the read is race-free.
+  std::optional<TaskT> detach(TaskHandle h) {
+    if (!enabled_ || !h.valid()) return std::nullopt;
+    if (KPS_FAILPOINT_FAIL("lifecycle.cancel")) return std::nullopt;
+    auto* n = static_cast<Node*>(h.node);
+    std::uint64_t expected = (h.gen << 2) | kLcLive;
+    if (!n->word.compare_exchange_strong(expected,
+                                         (h.gen << 2) | kLcCancelled,
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_relaxed)) {
+      return std::nullopt;
+    }
+    return n->task;
+  }
+
+  /// Pop-side gate, called by the entry's exclusive owner.  True: the
+  /// task is live and now consumed — execute it (the block is recycled
+  /// here, so the caller must not touch e.lc afterwards).  False: the
+  /// entry was a tombstone and has been reaped; the caller drops it and
+  /// keeps scanning.  The caller owns all counter/capacity accounting.
+  bool claim(Entry& e) {
+    if (e.lc == nullptr) return true;
+    Node* n = e.lc;
+    std::uint64_t w = n->word.load(std::memory_order_acquire);
+    while ((w & kLcStateMask) == kLcLive) {
+      const std::uint64_t gen = w >> 2;
+      if (n->word.compare_exchange_weak(w, (gen << 2) | kLcFree,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_acquire)) {
+        recycle(n);
+        return true;
+      }
+    }
+    // Tombstone: the canceller already accounted for the task's exit;
+    // this owner just frees the residency.
+    KPS_FAILPOINT("lifecycle.reap");
+    n->word.store((w >> 2 << 2) | kLcFree, std::memory_order_release);
+    recycle(n);
+    return false;
+  }
+
+ private:
+  static constexpr std::size_t kChunk = 256;
+
+  /// One-node thread-local stash, the fast path of the block pool:
+  /// steady push/pop churn cycles a single block between claim and the
+  /// next wrap on the same thread, and TLS hands it over with two plain
+  /// stores — no lock-prefixed instruction at all, the dominant term in
+  /// the tombstone_overhead row's <5% budget.  The stash is validated
+  /// by a process-unique ledger id, never a pointer: a stale entry from
+  /// a destroyed ledger can only mismatch, so a recycled ledger address
+  /// cannot adopt a foreign (freed) block.  A node abandoned when a
+  /// thread's stash moves to another ledger is not leaked — its memory
+  /// stays with the owning ledger's chunks — it just sits out the rest
+  /// of that ledger's lifetime.
+  struct Stash {
+    std::uint64_t owner = 0;
+    void* node = nullptr;
+  };
+  static Stash& stash() {
+    static thread_local Stash s;
+    return s;
+  }
+  static std::uint64_t next_ledger_id() {
+    static std::atomic<std::uint64_t> ids{1};
+    return ids.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  Node* acquire() {
+    Stash& s = stash();
+    if (s.owner == id_ && s.node != nullptr) {
+      Node* n = static_cast<Node*>(s.node);
+      s.node = nullptr;
+      return n;
+    }
+    // Hot slot second: one exchange instead of the lock round trip when
+    // the block was freed by a different thread.
+    if (Node* n = hot_.exchange(nullptr, std::memory_order_acquire)) {
+      return n;
+    }
+    pool_lock_.lock();
+    if (free_ != nullptr) {
+      Node* n = free_;
+      free_ = n->next;
+      pool_lock_.unlock();
+      return n;
+    }
+    if (chunks_.empty() || chunk_used_ == kChunk) {
+      chunks_.push_back(std::make_unique<Node[]>(kChunk));
+      chunk_used_ = 0;
+    }
+    Node* n = &chunks_.back()[chunk_used_++];
+    pool_lock_.unlock();
+    return n;
+  }
+
+  void recycle(Node* n) {
+    Stash& s = stash();
+    if (s.owner != id_) {
+      s.owner = id_;  // adopt the slot (any parked foreign node sits out)
+      s.node = nullptr;
+    }
+    if (s.node == nullptr) {
+      s.node = n;
+      return;
+    }
+    if (hot_.load(std::memory_order_relaxed) == nullptr) {
+      n = hot_.exchange(n, std::memory_order_acq_rel);
+      if (n == nullptr) return;  // parked in the hot slot
+    }
+    pool_lock_.lock();
+    n->next = free_;
+    free_ = n;
+    pool_lock_.unlock();
+  }
+
+  bool enabled_ = false;
+  std::uint64_t id_ = next_ledger_id();
+  Spinlock pool_lock_;
+  std::atomic<Node*> hot_{nullptr};
+  Node* free_ = nullptr;
+  std::size_t chunk_used_ = 0;
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+};
+
+}  // namespace detail
+
+/// Which lifecycle operations a storage honours.  `cancel` is universal
+/// in this registry; `reprioritize` requires the storage to actually
+/// order by priority (ws_deque declines: re-keying a task cannot change
+/// its position in a priority-oblivious deque, and advertising the op
+/// would be a lie).
+struct StorageCaps {
+  bool cancel = false;
+  bool reprioritize = false;
+};
+
+/// CRTP mixin providing the lifecycle surface of the TaskStorage
+/// concept.  Derived supplies try_push/config(); the mixin owns the
+/// ledger and the shared cancel/reprioritize logic, so the six storages
+/// do not each re-implement the state machine.
+template <typename Derived, typename TaskT, bool kCancel = true,
+          bool kReprioritize = true>
+class LifecycleOps {
+ public:
+  static constexpr StorageCaps kCaps{kCancel, kReprioritize};
+
+  StorageCaps caps() const { return kCaps; }
+  bool lifecycle_enabled() const { return ledger_.enabled(); }
+
+  /// O(1) tombstone cancel; the entry is reaped by a later pop.  Counts
+  /// tasks_cancelled on the calling place.  The capacity gate is NOT
+  /// touched here — the residency is released at reap time.
+  template <typename PlaceT>
+  bool cancel(PlaceT& p, TaskHandle h) {
+    if (!ledger_.cancel(h)) return false;
+    p.counters->inc(Counter::tasks_cancelled);
+    return true;
+  }
+
+  /// Decrease-key (or any re-key) as tombstone + re-push.  The detach
+  /// counts as a cancel and the re-push as a spawn, keeping the ledger
+  /// equation exact; the re-push obeys capacity policy like any push
+  /// (see ReprioritizeOutcome for the caller's accounting contract).
+  template <typename PlaceT, typename PrioT>
+  ReprioritizeOutcome<TaskT> reprioritize(PlaceT& p, TaskHandle h,
+                                          PrioT priority) {
+    ReprioritizeOutcome<TaskT> out;
+    std::optional<TaskT> task = ledger_.detach(h);
+    if (!task.has_value()) return out;
+    out.detached = true;
+    p.counters->inc(Counter::tasks_cancelled);
+    task->priority = priority;
+    auto* self = static_cast<Derived*>(this);
+    out.requeue =
+        self->try_push(p, self->config().default_k, std::move(*task));
+    return out;
+  }
+
+ protected:
+  detail::LifecycleLedger<TaskT> ledger_;
+};
+
+}  // namespace kps

@@ -15,6 +15,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/lifecycle.hpp"
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
@@ -27,9 +28,11 @@
 namespace kps {
 
 template <typename TaskT>
-class MultiQueuePool {
+class MultiQueuePool
+    : public LifecycleOps<MultiQueuePool<TaskT>, TaskT> {
  public:
   using task_type = TaskT;
+  using Entry = detail::LcEntry<TaskT>;
 
   struct alignas(kCacheLine) Place {
     std::size_t index = 0;
@@ -46,14 +49,12 @@ class MultiQueuePool {
         2, places_.size() * std::max<std::size_t>(cfg.multiqueue_factor, 1));
     queues_ = std::vector<Queue>(q);
     gate_.init(cfg_);
+    this->ledger_.init(cfg_.enable_lifecycle);
   }
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
-
-  void push(Place& p, int k, TaskT task) {
-    (void)try_push(p, k, std::move(task));
-  }
+  const StorageConfig& config() const { return cfg_; }
 
   /// Capacity-aware push.  Shed tier: one uniformly random queue (the
   /// same distribution an admit would have landed in), traded under a
@@ -62,30 +63,18 @@ class MultiQueuePool {
     PushOutcome<TaskT> out;
     if (gate_.at_capacity()) {
       if (gate_.policy() == OverflowPolicy::reject) {
-        out.accepted = false;
-        p.counters->inc(Counter::push_rejected);
-        return out;
+        return detail::reject_incoming<TaskT>(p.counters);
       }
       Queue& q = queues_[p.rng.next_bounded(queues_.size())];
       q.lock.lock();
-      if (!q.heap.empty()) {
-        const std::size_t w = q.heap.worst_index();
-        if (TaskLess{}(task, q.heap.at(w))) {
-          out.shed = q.heap.extract_at(w);
-          q.heap.push(std::move(task));
-          q.publish_top();
-          q.lock.unlock();
-          p.counters->inc(Counter::tasks_spawned);
-          p.counters->inc(Counter::tasks_shed);
-          return out;
-        }
+      if (detail::displace_worst(q.heap, task, this->ledger_,
+                                 p.counters, &out)) {
+        q.publish_top();
+        q.lock.unlock();
+        return out;
       }
       q.lock.unlock();
-      out.accepted = false;
-      out.shed = std::move(task);
-      p.counters->inc(Counter::tasks_spawned);
-      p.counters->inc(Counter::tasks_shed);
-      return out;
+      return detail::shed_incoming(std::move(task), p.counters);
     }
 
     // Bounded retry (the PR-6 livelock fix): the old `while (true)
@@ -101,7 +90,7 @@ class MultiQueuePool {
         backoff.spin();
         continue;
       }
-      q.heap.push(std::move(task));
+      q.heap.push(this->ledger_.wrap(std::move(task), &out.handle));
       q.publish_top();
       q.lock.unlock();
       gate_.add(1);
@@ -110,7 +99,7 @@ class MultiQueuePool {
     }
     Queue& q = queues_[p.rng.next_bounded(queues_.size())];
     q.lock.lock();
-    q.heap.push(std::move(task));
+    q.heap.push(this->ledger_.wrap(std::move(task), &out.handle));
     q.publish_top();
     q.lock.unlock();
     gate_.add(1);
@@ -131,14 +120,14 @@ class MultiQueuePool {
       const double tb = queues_[b].top_cache.load(std::memory_order_acquire);
       if (ta == kEmptyTop && tb == kEmptyTop) continue;
       Queue& q = queues_[ta <= tb ? a : b];
-      if (auto out = try_pop_queue(q)) {
+      if (auto out = try_pop_queue(q, p)) {
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
         return out;
       }
     }
     for (Queue& q : queues_) {
-      if (auto out = try_pop_queue(q)) {
+      if (auto out = try_pop_queue(q, p)) {
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
         return out;
@@ -155,26 +144,34 @@ class MultiQueuePool {
 
   struct alignas(kCacheLine) Queue {
     Spinlock lock;
-    DaryHeap<TaskT, TaskLess, 4> heap;
+    DaryHeap<Entry, detail::LcEntryLess, 4> heap;
     std::atomic<double> top_cache{kEmptyTop};
 
     void publish_top() {
-      top_cache.store(
-          heap.empty() ? kEmptyTop : static_cast<double>(heap.top().priority),
-          std::memory_order_release);
+      top_cache.store(heap.empty()
+                          ? kEmptyTop
+                          : static_cast<double>(heap.top().task.priority),
+                      std::memory_order_release);
     }
   };
 
-  std::optional<TaskT> try_pop_queue(Queue& q) {
+  std::optional<TaskT> try_pop_queue(Queue& q, Place& p) {
     if (q.top_cache.load(std::memory_order_acquire) == kEmptyTop) {
       return std::nullopt;
     }
     if (!q.lock.try_lock()) return std::nullopt;
     std::optional<TaskT> out;
-    if (!q.heap.empty()) {
-      out = q.heap.pop();
-      q.publish_top();
+    while (!q.heap.empty()) {
+      Entry e = q.heap.pop();
+      if (this->ledger_.claim(e)) {
+        out = std::move(e.task);
+        break;
+      }
+      // Tombstone: free the residency and keep draining this queue.
+      p.counters->inc(Counter::tombstones_reaped);
+      gate_.add(-1);
     }
+    q.publish_top();
     q.lock.unlock();
     return out;
   }

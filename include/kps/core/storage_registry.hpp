@@ -17,6 +17,7 @@
 // which path built it.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <stdexcept>
@@ -58,6 +59,37 @@ inline bool is_storage_name(std::string_view name) {
     if (n == name) return true;
   }
   return false;
+}
+
+/// One row of the registry's capability table.
+struct StorageCapability {
+  std::string_view name;
+  StorageCaps caps;
+};
+
+/// Lifecycle capabilities of every registered storage, in kStorageNames
+/// order.  kCaps is a compile-time property of the storage template
+/// (independent of the task type), so this table cannot drift from what
+/// cancel/reprioritize actually do — bench_common prints it from --help
+/// and require_capability fails fast against it.
+inline std::array<StorageCapability, 6> registry_capabilities() {
+  using Probe = Task<int, double>;
+  return {{
+      {"global_pq", GlobalLockedPq<Probe>::kCaps},
+      {"centralized", CentralizedKpq<Probe>::kCaps},
+      {"hybrid", HybridKpq<Probe>::kCaps},
+      {"multiqueue", MultiQueuePool<Probe>::kCaps},
+      {"ws_priority", WsPriorityPool<Probe>::kCaps},
+      {"ws_deque", WsDequePool<Probe>::kCaps},
+  }};
+}
+
+/// Caps for one registered name; nullopt for an unknown name.
+inline std::optional<StorageCaps> storage_caps_for(std::string_view name) {
+  for (const StorageCapability& row : registry_capabilities()) {
+    if (row.name == name) return row.caps;
+  }
+  return std::nullopt;
 }
 
 /// Construct the named storage behind the AnyStorage facade; nullopt for

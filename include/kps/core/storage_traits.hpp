@@ -1,18 +1,25 @@
 // Shared configuration and the TaskStorage concept every scheduler-side
 // structure models (see DESIGN.md for the storage taxonomy).
 //
-// All storages share the same shape:
+// All storages share the same shape (PR 7 collapsed the push/try_push
+// split: PushOutcome-returning try_push is the single entrypoint, and
+// push() is a free-function convenience wrapper over it):
 //
 //   Storage s(places, config, &stats);      // stats optional
 //   auto& place = s.place(p);               // one handle per worker thread
-//   s.push(place, k, task);                 // k = relaxation window for op
-//   auto out = s.try_push(place, k, task);  // capacity-aware (PushOutcome)
+//   auto out = s.try_push(place, k, task);  // k = relaxation window for op;
+//                                           // out.handle = lifecycle ticket
+//   kps::push(s, place, k, task);           // fire-and-forget wrapper
 //   std::optional<Task> t = s.pop(place);   // nullopt <=> nothing found
+//   s.cancel(place, out.handle);            // O(1) tombstone (lifecycle)
+//   s.reprioritize(place, out.handle, p2);  // decrease-key as move
 //
 // A Place handle must be driven by one thread at a time; handles of
 // different places are safe to use concurrently.  pop() is allowed to be
 // weakly complete (a transient nullopt while another place holds tasks is
 // legal) — the SSSP runner owns termination via its pending-task counter.
+// Lifecycle ops (core/lifecycle.hpp) act on control blocks, not container
+// positions, so any thread may cancel through any place handle it owns.
 #pragma once
 
 #include <atomic>
@@ -23,7 +30,9 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "core/lifecycle.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
 
@@ -93,6 +102,13 @@ struct StorageConfig {
   std::size_t capacity = 0;
   OverflowPolicy overflow_policy = OverflowPolicy::reject;
 
+  // Task lifecycle (PR 7): when on, every admitted task gets a pooled
+  // control block and try_push returns a valid TaskHandle redeemable for
+  // cancel/reprioritize.  Off (the default) keeps the insert-only fast
+  // path: entries carry a null block pointer and pops pay one branch
+  // (bench_baseline's tombstone_overhead row holds this under 5%).
+  bool enable_lifecycle = false;
+
   /// Fail-fast validation, run by every storage constructor (and by the
   /// registry before it even picks a storage): returns an empty string
   /// for a usable config, else a diagnostic naming the bad field.  The
@@ -127,27 +143,9 @@ struct StorageConfig {
   }
 };
 
-/// Result of a bounded push (try_push).  Exactly one of three shapes:
-///
-///   {accepted=true,  shed=nullopt} — the task entered the storage.
-///   {accepted=true,  shed=t}       — the task entered; resident task `t`
-///                                    was evicted to make room
-///                                    (shed_lowest only).
-///   {accepted=false, shed=...}     — the incoming task did NOT enter:
-///                                    under reject `shed` is empty (the
-///                                    caller still owns the task it
-///                                    passed); under shed_lowest `shed`
-///                                    returns the incoming task itself,
-///                                    marking it dropped by policy.
-///
-/// Conservation accounting: a task left the system (or never entered it)
-/// iff `!accepted || shed` — the runner uses exactly that predicate to
-/// keep its pending counter truthful under overload.
-template <typename TaskT>
-struct PushOutcome {
-  bool accepted = true;
-  std::optional<TaskT> shed{};
-};
+// PushOutcome / ReprioritizeOutcome / TaskHandle / StorageCaps live in
+// core/lifecycle.hpp (PushOutcome carries the lifecycle handle, so the
+// definitions are coupled).
 
 namespace detail {
 
@@ -227,19 +225,102 @@ void init_places(PlaceVec& places, const StorageConfig& cfg,
   }
 }
 
+/// The shared at-capacity epilogues every storage used to duplicate
+/// (PR-6 grew six near-identical ~25-line blocks; PR 7 folds them here).
+/// All three leave counter accounting exactly as the per-storage copies
+/// did, so the conservation ledger is unchanged.
+
+/// Reject policy: refuse the incoming task.
+template <typename TaskT>
+PushOutcome<TaskT> reject_incoming(PlaceCounters* counters) {
+  counters->inc(Counter::push_rejected);
+  PushOutcome<TaskT> out;
+  out.accepted = false;
+  return out;
+}
+
+/// Shed-lowest when the incoming task loses (or the shed tier cannot
+/// rank it): the incoming task is counted as spawned-then-shed so the
+/// ledger still balances.
+template <typename TaskT>
+PushOutcome<TaskT> shed_incoming(TaskT task, PlaceCounters* counters) {
+  counters->inc(Counter::tasks_spawned);
+  counters->inc(Counter::tasks_shed);
+  PushOutcome<TaskT> out;
+  out.accepted = false;
+  out.shed = std::move(task);
+  return out;
+}
+
+/// Shed-lowest displacement against a locked heap of LcEntry: if the
+/// incoming task beats the tier's worst resident, evict that resident
+/// and admit the incoming task in its place (net resident count — and
+/// therefore the capacity gate — unchanged).  Returns false when the
+/// tier is empty or the incoming task does not beat the worst (caller
+/// falls back to shed_incoming).  Must be called with the heap's lock
+/// held.
+///
+/// Lifecycle interaction: the evicted resident is claimed exactly like
+/// a pop.  A live resident comes back through out->shed (counted
+/// tasks_shed, and the caller's runner pays its pending debt); a
+/// tombstoned resident is REAPED instead — the cancel already
+/// accounted for its exit, so shed stays empty and only
+/// tombstones_reaped ticks.  Either way the displaced slot's residency
+/// ends here, which is why the gate needs no adjustment.
+///
+/// `task` is taken by reference and consumed ONLY on a true return —
+/// a false return leaves it untouched for the caller's shed_incoming.
+template <typename Heap, typename TaskT>
+bool displace_worst(Heap& heap, TaskT& task,
+                    detail::LifecycleLedger<TaskT>& ledger,
+                    PlaceCounters* counters, PushOutcome<TaskT>* out) {
+  if (heap.empty()) return false;
+  const std::size_t worst = heap.worst_index();
+  if (!(task.priority < heap.at(worst).task.priority)) return false;
+  LcEntry<TaskT> evicted = heap.extract_at(worst);
+  heap.push(ledger.wrap(std::move(task), &out->handle));
+  counters->inc(Counter::tasks_spawned);
+  if (ledger.claim(evicted)) {
+    counters->inc(Counter::tasks_shed);
+    out->shed = std::move(evicted.task);
+  } else {
+    counters->inc(Counter::tombstones_reaped);
+  }
+  return true;
+}
+
 }  // namespace detail
 
 template <typename S>
-concept TaskStorage = requires(S s, typename S::task_type task, int k) {
+concept TaskStorage = requires(S s, const S cs, typename S::task_type task,
+                               int k, TaskHandle h) {
   typename S::task_type;
   typename S::Place;
   { s.places() } -> std::convertible_to<std::size_t>;
   { s.place(std::size_t{0}) } -> std::same_as<typename S::Place&>;
-  { s.push(s.place(0), k, task) };
   {
     s.try_push(s.place(0), k, task)
   } -> std::same_as<PushOutcome<typename S::task_type>>;
   { s.pop(s.place(0)) } -> std::same_as<std::optional<typename S::task_type>>;
+  // Lifecycle surface (core/lifecycle.hpp).  Storages without real
+  // support still expose the calls — they advertise refusal through
+  // caps() and return false / {} at runtime.
+  { s.cancel(s.place(0), h) } -> std::convertible_to<bool>;
+  {
+    s.reprioritize(s.place(0), h, task.priority)
+  } -> std::same_as<ReprioritizeOutcome<typename S::task_type>>;
+  { cs.caps() } -> std::convertible_to<StorageCaps>;
+  { cs.lifecycle_enabled() } -> std::convertible_to<bool>;
 };
+
+/// Fire-and-forget push: the thin convenience wrapper that replaced the
+/// six per-storage `push` members.  Deliberately discards the outcome —
+/// callers that care about capacity verdicts or lifecycle handles use
+/// try_push.
+template <typename S>
+void push(S& storage, typename S::Place& place, int k,
+          typename S::task_type task) {
+  (void)storage.try_push(place, k, std::move(task));
+}
 
 }  // namespace kps

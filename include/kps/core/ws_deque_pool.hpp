@@ -3,6 +3,12 @@
 // by priority anywhere.  Shows what local prioritization alone buys on
 // priority workloads: this pool relaxes far more SSSP nodes than any
 // priority-aware storage because execution order ignores distances.
+//
+// Lifecycle: cancel works (tombstones reaped at pop/steal like
+// everywhere else), but reprioritize is refused by capability — a
+// priority-oblivious deque cannot move a task to a new schedule
+// position, so advertising decrease-key would be a lie.  caps().
+// reprioritize is false and the method is a documented no-op.
 #pragma once
 
 #include <cstddef>
@@ -11,6 +17,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/lifecycle.hpp"
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "support/failpoint.hpp"
@@ -21,17 +28,20 @@
 namespace kps {
 
 template <typename TaskT>
-class WsDequePool {
+class WsDequePool
+    : public LifecycleOps<WsDequePool<TaskT>, TaskT, /*kCancel=*/true,
+                          /*kReprioritize=*/false> {
  public:
   using task_type = TaskT;
+  using Entry = detail::LcEntry<TaskT>;
 
   struct alignas(kCacheLine) Place {
     std::size_t index = 0;
     PlaceCounters* counters = nullptr;
     Xoshiro256 rng;
     Spinlock lock;
-    std::deque<TaskT> deque;  // owner: back; thieves: front
-    std::vector<TaskT> loot;  // reused steal buffer
+    std::deque<Entry> deque;  // owner: back; thieves: front
+    std::vector<Entry> loot;  // reused steal buffer
   };
 
   WsDequePool(std::size_t places, StorageConfig cfg,
@@ -40,13 +50,18 @@ class WsDequePool {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
     gate_.init(cfg_);
+    this->ledger_.init(cfg_.enable_lifecycle);
   }
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
+  const StorageConfig& config() const { return cfg_; }
 
-  void push(Place& p, int k, TaskT task) {
-    (void)try_push(p, k, std::move(task));
+  /// Capability-refused: see the header comment.  Nothing is detached and
+  /// the task keeps its place in the deque.
+  template <typename PlaceT, typename PrioT>
+  ReprioritizeOutcome<TaskT> reprioritize(PlaceT&, TaskHandle, PrioT) {
+    return {};
   }
 
   /// Capacity-aware push.  The deque is priority-oblivious, so there is
@@ -56,18 +71,13 @@ class WsDequePool {
   PushOutcome<TaskT> try_push(Place& p, int /*k*/, TaskT task) {
     PushOutcome<TaskT> out;
     if (gate_.at_capacity()) {
-      out.accepted = false;
       if (gate_.policy() == OverflowPolicy::reject) {
-        p.counters->inc(Counter::push_rejected);
-      } else {
-        out.shed = std::move(task);
-        p.counters->inc(Counter::tasks_spawned);
-        p.counters->inc(Counter::tasks_shed);
+        return detail::reject_incoming<TaskT>(p.counters);
       }
-      return out;
+      return detail::shed_incoming(std::move(task), p.counters);
     }
     p.lock.lock();
-    p.deque.push_back(std::move(task));
+    p.deque.push_back(this->ledger_.wrap(std::move(task), &out.handle));
     p.lock.unlock();
     gate_.add(1);
     p.counters->inc(Counter::tasks_spawned);
@@ -76,13 +86,17 @@ class WsDequePool {
 
   std::optional<TaskT> pop(Place& p) {
     p.lock.lock();
-    if (!p.deque.empty()) {
-      TaskT out = p.deque.back();
+    while (!p.deque.empty()) {
+      Entry e = std::move(p.deque.back());
       p.deque.pop_back();
-      p.lock.unlock();
+      if (this->ledger_.claim(e)) {
+        p.lock.unlock();
+        gate_.add(-1);
+        p.counters->inc(Counter::tasks_executed);
+        return std::move(e.task);
+      }
+      p.counters->inc(Counter::tombstones_reaped);
       gate_.add(-1);
-      p.counters->inc(Counter::tasks_executed);
-      return out;
     }
     p.lock.unlock();
 
@@ -109,33 +123,44 @@ class WsDequePool {
     // Injected failure = victim looked locked; move on to the next one.
     if (KPS_FAILPOINT_FAIL("wsdeque.steal")) return std::nullopt;
     if (!victim.lock.try_lock()) return std::nullopt;
+    // The loot we execute must be live: reap tombstones off the steal end
+    // until the first live task surfaces.
     std::optional<TaskT> out;
-    if (!victim.deque.empty()) {
-      out = victim.deque.front();
+    while (!victim.deque.empty()) {
+      Entry e = std::move(victim.deque.front());
       victim.deque.pop_front();
-      std::size_t stolen = 1;
-      if (cfg_.steal_half) {
-        // Move (half - 1) more tasks from the victim's steal end.
-        std::size_t extra = victim.deque.size() / 2;
-        p.loot.clear();
-        while (extra-- > 0) {
-          p.loot.push_back(victim.deque.front());
-          victim.deque.pop_front();
-        }
-        stolen += p.loot.size();
-        victim.lock.unlock();
-        if (!p.loot.empty()) {
-          p.lock.lock();
-          for (TaskT& t : p.loot) p.deque.push_back(t);
-          p.lock.unlock();
-        }
-      } else {
-        victim.lock.unlock();
+      if (this->ledger_.claim(e)) {
+        out = std::move(e.task);
+        break;
       }
-      p.counters->inc(Counter::stolen_items, stolen);
+      p.counters->inc(Counter::tombstones_reaped);
+      gate_.add(-1);
+    }
+    if (!out) {
+      victim.lock.unlock();
       return out;
     }
-    victim.lock.unlock();
+    std::size_t stolen = 1;
+    if (cfg_.steal_half) {
+      // Move (half - 1) more entries from the victim's steal end; their
+      // control blocks migrate with them, so handles stay redeemable.
+      std::size_t extra = victim.deque.size() / 2;
+      p.loot.clear();
+      while (extra-- > 0) {
+        p.loot.push_back(std::move(victim.deque.front()));
+        victim.deque.pop_front();
+      }
+      stolen += p.loot.size();
+      victim.lock.unlock();
+      if (!p.loot.empty()) {
+        p.lock.lock();
+        for (Entry& e : p.loot) p.deque.push_back(std::move(e));
+        p.lock.unlock();
+      }
+    } else {
+      victim.lock.unlock();
+    }
+    p.counters->inc(Counter::stolen_items, stolen);
     return out;
   }
 

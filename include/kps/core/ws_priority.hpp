@@ -8,6 +8,10 @@
 // wasted work grows with P (the Figure 4 effect this baseline exists to
 // show).  Owner operations are one uncontended CAS plus plain heap work;
 // thieves only ever try_lock, so they cannot convoy an owner.
+//
+// Lifecycle: entries migrate between heaps with their control blocks, so
+// a handle stays redeemable across steals; tombstones are reaped wherever
+// they surface (owner pop, steal-half re-pop, single-steal).
 #pragma once
 
 #include <cstddef>
@@ -15,6 +19,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/lifecycle.hpp"
 #include "core/storage_traits.hpp"
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
@@ -26,17 +31,19 @@
 namespace kps {
 
 template <typename TaskT>
-class WsPriorityPool {
+class WsPriorityPool
+    : public LifecycleOps<WsPriorityPool<TaskT>, TaskT> {
  public:
   using task_type = TaskT;
+  using Entry = detail::LcEntry<TaskT>;
 
   struct alignas(kCacheLine) Place {
     std::size_t index = 0;
     PlaceCounters* counters = nullptr;
     Xoshiro256 rng;
     Spinlock lock;
-    DaryHeap<TaskT, TaskLess, 4> heap;
-    std::vector<TaskT> loot;  // reused steal buffer
+    DaryHeap<Entry, detail::LcEntryLess, 4> heap;
+    std::vector<Entry> loot;  // reused steal buffer
   };
 
   WsPriorityPool(std::size_t places, StorageConfig cfg,
@@ -45,14 +52,12 @@ class WsPriorityPool {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
     gate_.init(cfg_);
+    this->ledger_.init(cfg_.enable_lifecycle);
   }
 
   std::size_t places() const { return places_.size(); }
   Place& place(std::size_t i) { return places_[i]; }
-
-  void push(Place& p, int k, TaskT task) {
-    (void)try_push(p, k, std::move(task));
-  }
+  const StorageConfig& config() const { return cfg_; }
 
   /// Capacity-aware push.  Shed tier: the pushing place's own heap — the
   /// only structure it can inspect without cross-place locking, and where
@@ -61,31 +66,19 @@ class WsPriorityPool {
     PushOutcome<TaskT> out;
     if (gate_.at_capacity()) {
       if (gate_.policy() == OverflowPolicy::reject) {
-        out.accepted = false;
-        p.counters->inc(Counter::push_rejected);
-        return out;
+        return detail::reject_incoming<TaskT>(p.counters);
       }
       p.lock.lock();
-      if (!p.heap.empty()) {
-        const std::size_t w = p.heap.worst_index();
-        if (TaskLess{}(task, p.heap.at(w))) {
-          out.shed = p.heap.extract_at(w);
-          p.heap.push(std::move(task));
-          p.lock.unlock();
-          p.counters->inc(Counter::tasks_spawned);
-          p.counters->inc(Counter::tasks_shed);
-          return out;
-        }
+      if (detail::displace_worst(p.heap, task, this->ledger_,
+                                 p.counters, &out)) {
+        p.lock.unlock();
+        return out;
       }
       p.lock.unlock();
-      out.accepted = false;
-      out.shed = std::move(task);
-      p.counters->inc(Counter::tasks_spawned);
-      p.counters->inc(Counter::tasks_shed);
-      return out;
+      return detail::shed_incoming(std::move(task), p.counters);
     }
     p.lock.lock();
-    p.heap.push(std::move(task));
+    p.heap.push(this->ledger_.wrap(std::move(task), &out.handle));
     p.lock.unlock();
     gate_.add(1);
     p.counters->inc(Counter::tasks_spawned);
@@ -94,12 +87,16 @@ class WsPriorityPool {
 
   std::optional<TaskT> pop(Place& p) {
     p.lock.lock();
-    if (!p.heap.empty()) {
-      TaskT out = p.heap.pop();
-      p.lock.unlock();
+    while (!p.heap.empty()) {
+      Entry e = p.heap.pop();
+      if (this->ledger_.claim(e)) {
+        p.lock.unlock();
+        gate_.add(-1);
+        p.counters->inc(Counter::tasks_executed);
+        return std::move(e.task);
+      }
+      p.counters->inc(Counter::tombstones_reaped);
       gate_.add(-1);
-      p.counters->inc(Counter::tasks_executed);
-      return out;
     }
     p.lock.unlock();
 
@@ -128,26 +125,45 @@ class WsPriorityPool {
     // simply moves on to the next victim.
     if (KPS_FAILPOINT_FAIL("wsprio.steal")) return std::nullopt;
     if (!victim.lock.try_lock()) return std::nullopt;
-    std::optional<TaskT> out;
-    if (!victim.heap.empty()) {
-      if (cfg_.steal_half && victim.heap.size() > 1) {
-        p.loot.clear();
-        victim.heap.extract_half(p.loot);
-        victim.lock.unlock();
-        p.counters->inc(Counter::stolen_items, p.loot.size());
-        p.lock.lock();
-        for (TaskT& t : p.loot) p.heap.push(t);
-        out = p.heap.pop();
-        p.lock.unlock();
-        return out;
-      }
-      out = victim.heap.pop();
+    if (victim.heap.empty()) {
       victim.lock.unlock();
-      p.counters->inc(Counter::stolen_items);
+      return std::nullopt;
+    }
+    if (cfg_.steal_half && victim.heap.size() > 1) {
+      p.loot.clear();
+      victim.heap.extract_half(p.loot);
+      victim.lock.unlock();
+      p.counters->inc(Counter::stolen_items, p.loot.size());
+      p.lock.lock();
+      for (Entry& e : p.loot) p.heap.push(e);
+      std::optional<TaskT> out;
+      while (!p.heap.empty()) {
+        Entry e = p.heap.pop();
+        if (this->ledger_.claim(e)) {
+          out = std::move(e.task);
+          break;
+        }
+        p.counters->inc(Counter::tombstones_reaped);
+        gate_.add(-1);
+      }
+      p.lock.unlock();
       return out;
     }
+    // Single-task steal: drain the victim's tombstones while we hold its
+    // lock anyway — the first live task is the loot.
+    std::optional<TaskT> out;
+    while (!victim.heap.empty()) {
+      Entry e = victim.heap.pop();
+      if (this->ledger_.claim(e)) {
+        out = std::move(e.task);
+        break;
+      }
+      p.counters->inc(Counter::tombstones_reaped);
+      gate_.add(-1);
+    }
     victim.lock.unlock();
-    return std::nullopt;
+    if (out) p.counters->inc(Counter::stolen_items);
+    return out;
   }
 
   StorageConfig cfg_;

@@ -40,6 +40,10 @@ enum class Counter : std::size_t {
   segment_spills,      // hybrid: cold-segment folds into the shard heap
   push_rejected,       // bounded capacity: try_push refused (reject policy)
   tasks_shed,          // bounded capacity: tasks dropped by shed-lowest
+  tasks_cancelled,     // lifecycle: live residencies tombstoned (cancel +
+                       // the detach half of every reprioritize)
+  tombstones_reaped,   // lifecycle: tombstoned entries freed by pop/shed scans
+  timers_fired,        // timer wheel: deadline actions delivered by the runner
   kCount
 };
 

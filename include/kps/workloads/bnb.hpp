@@ -30,6 +30,7 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "core/storage_traits.hpp"
@@ -177,11 +178,17 @@ struct BnbRun {
 
 namespace detail {
 
-inline void cas_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+/// CAS-max; true iff this call actually raised the value (the caller
+/// improved the incumbent and owns the improvement — speculative pruning
+/// keys off exactly that edge).
+inline bool cas_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
   std::uint64_t cur = target.load(std::memory_order_relaxed);
-  while (cur < v && !target.compare_exchange_weak(
-                        cur, v, std::memory_order_relaxed)) {
+  while (cur < v) {
+    if (target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+      return true;
+    }
   }
+  return false;
 }
 
 }  // namespace detail
@@ -213,6 +220,114 @@ BnbRun bnb_parallel(const KnapsackInstance& inst, Storage& storage,
     // such dominated nodes more often (the A12 wasted column).
     if (ub <= incumbent.load(std::memory_order_relaxed)) return false;
     // Include item `level` (if it fits), then exclude it.
+    if (node.weight + inst.weight[node.level] <= inst.capacity) {
+      spawn_child(handle,
+                  {node.level + 1,
+                   node.weight + inst.weight[node.level],
+                   node.profit + inst.profit[node.level]});
+    }
+    spawn_child(handle, {node.level + 1, node.weight, node.profit});
+    return true;
+  };
+
+  BnbRun run;
+  if (n == 0) return run;
+  const std::uint64_t root_ub = knapsack_bound(inst, 0, 0, 0);
+  run.runner = run_relaxed(
+      storage, k_policy,
+      {BnbTask{-static_cast<double>(root_ub), BnbNode{0, 0, 0}}}, expand,
+      stats);
+  run.best_profit = incumbent.load(std::memory_order_relaxed);
+  run.expanded = run.runner.expanded;
+  run.pruned = run.runner.wasted;
+  return run;
+}
+
+/// Speculative variant (ablation A19): same search, but every spawned
+/// child's TaskHandle is remembered per place, and the moment a worker
+/// improves the incumbent it sweeps its own list cancelling every
+/// remembered node whose bound the new incumbent dominates.  Dominated
+/// nodes are thus tombstoned IN the storage and reaped at pop — they
+/// never surface as wasted expansions the way they do in bnb_parallel's
+/// pop-time recheck.  Correctness is untouched: only ub <= incumbent
+/// nodes are cancelled, exactly the ones the recheck would discard.
+///
+/// Requires a cancel-capable storage with lifecycle enabled
+/// (cfg.enable_lifecycle); anything else is a hard error, mirroring the
+/// registry's unknown-name diagnostics.
+template <typename Storage, typename KPolicy>
+BnbRun bnb_parallel_speculative(const KnapsackInstance& inst,
+                                Storage& storage, KPolicy k_policy,
+                                StatsRegistry* stats = nullptr) {
+  static_assert(std::is_same_v<typename Storage::task_type, BnbTask>);
+  if (!storage.caps().cancel) {
+    throw std::invalid_argument(
+        "bnb_parallel_speculative: storage does not support cancel");
+  }
+  if (!storage.lifecycle_enabled()) {
+    throw std::invalid_argument(
+        "bnb_parallel_speculative: storage built without "
+        "StorageConfig::enable_lifecycle");
+  }
+  const auto n = static_cast<std::uint32_t>(inst.items());
+  std::atomic<std::uint64_t> incumbent{0};
+
+  struct Tracked {
+    std::uint64_t ub;
+    TaskHandle handle;
+  };
+  // Per-place speculation lists: written only by their own worker (spawn
+  // and sweep both run inside that worker's expand call).
+  struct alignas(kCacheLine) TrackedList {
+    std::vector<Tracked> v;
+  };
+  std::vector<TrackedList> tracked(storage.places());
+  // Sweep threshold: compact the list even without an incumbent
+  // improvement once it holds this many entries (consumed handles fail
+  // their cancel and are dropped, bounding growth).
+  constexpr std::size_t kSweepAt = 4096;
+
+  // Cancel-and-drop every remembered node the incumbent now dominates.
+  // cancel() failing just means the node was already popped (or already
+  // cancelled) — the entry is dropped either way.
+  auto sweep = [&](RunnerHandle<Storage>& handle, std::uint64_t inc) {
+    auto& list = tracked[handle.place_index()].v;
+    std::size_t keep = 0;
+    for (Tracked& t : list) {
+      if (t.ub <= inc) {
+        (void)handle.cancel(t.handle);
+      } else {
+        list[keep++] = t;
+      }
+    }
+    list.resize(keep);
+  };
+
+  auto spawn_child = [&](RunnerHandle<Storage>& handle, BnbNode child) {
+    if (detail::cas_max(incumbent, child.profit)) {
+      sweep(handle, incumbent.load(std::memory_order_relaxed));
+    }
+    if (child.level >= n) return;
+    const std::uint64_t ub =
+        knapsack_bound(inst, child.level, child.weight, child.profit);
+    if (ub > incumbent.load(std::memory_order_relaxed)) {
+      const TaskHandle h =
+          handle.spawn_tracked({-static_cast<double>(ub), child});
+      if (h.valid()) {
+        auto& list = tracked[handle.place_index()].v;
+        list.push_back({ub, h});
+        if (list.size() >= kSweepAt) {
+          sweep(handle, incumbent.load(std::memory_order_relaxed));
+        }
+      }
+    }
+  };
+
+  auto expand = [&](RunnerHandle<Storage>& handle,
+                    const BnbTask& task) -> bool {
+    const BnbNode node = task.payload;
+    const auto ub = static_cast<std::uint64_t>(-task.priority);
+    if (ub <= incumbent.load(std::memory_order_relaxed)) return false;
     if (node.weight + inst.weight[node.level] <= inst.capacity) {
       spawn_child(handle,
                   {node.level + 1,

@@ -60,6 +60,7 @@
 #include <cstdint>
 #include <limits>
 #include <optional>
+#include <stdexcept>
 #include <vector>
 
 #include "core/storage_traits.hpp"
@@ -81,6 +82,20 @@ struct DesParams {
   std::uint32_t max_defer = 8;   // lazy re-enqueue budget per event
   std::uint64_t seed = 1;
   bool hierarchical_floor = true;  // min-index floor; false = O(chains) scan
+
+  // PR-7 lifecycle: expire any enqueued event that sits unprocessed for
+  // this many logical ticks (runner-wide claimed pops); 0 = never.
+  // Requires a cancel-capable storage with enable_lifecycle.  Expiry is
+  // cancel-only — escalation would rewrite an event's timestamp, and the
+  // timestamp IS the priority feeding des_transition/des_fingerprint, so
+  // changing it corrupts the checksum oracle.  An expired event's chain
+  // simply ends: its chain_time never advances, pinning the virtual-time
+  // floor, so expiry runs should disable the causality window
+  // (window < 0) or accept max_defer-bounded deferral churn.  With
+  // expire_after large enough that nothing fires, the outcome is
+  // bit-identical to the oracle; when events do expire, conservation
+  // (spawned == executed + shed + cancelled) is the checked invariant.
+  std::uint64_t expire_after = 0;
 };
 
 struct DesEvent {
@@ -214,6 +229,19 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
   static_assert(std::is_same_v<typename Storage::task_type, DesTask>);
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
+  // Deadline expiry (see DesParams::expire_after).  Fail fast PR-4 style
+  // rather than silently simulating without expiry.
+  const bool expiry = p.expire_after > 0;
+  if (expiry && !storage.caps().cancel) {
+    throw std::invalid_argument(
+        "des_parallel: expire_after needs a cancel-capable storage");
+  }
+  if (expiry && !storage.lifecycle_enabled()) {
+    throw std::invalid_argument(
+        "des_parallel: expire_after needs StorageConfig::enable_lifecycle");
+  }
+  RunnerTimerWheel<Storage> wheel;
+
   std::vector<std::atomic<std::uint64_t>> counts(
       std::max<std::uint32_t>(p.stations, 1));
   for (auto& c : counts) c.store(0, std::memory_order_relaxed);
@@ -259,6 +287,22 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
     return m;
   };
 
+  // All post-seed pushes (successors AND deferral re-enqueues) funnel
+  // through here so expiry arms uniformly.  Seeds are pushed by
+  // run_relaxed itself and are not expirable — every seed is poppable
+  // immediately, so a seed deadline would only measure startup skew.
+  // A deferral re-spawn gets a FRESH handle and a fresh deadline; the
+  // timer armed on its previous residency finds a consumed handle and
+  // fails harmlessly.
+  auto spawn_event = [&](RunnerHandle<Storage>& handle, DesTask t) {
+    if (!expiry) {
+      handle.spawn(std::move(t));
+      return;
+    }
+    const TaskHandle h = handle.spawn_tracked(std::move(t));
+    handle.schedule_cancel(p.expire_after, h);
+  };
+
   auto expand = [&](RunnerHandle<Storage>& handle,
                     const DesTask& task) -> bool {
     const DesEvent ev = task.payload;
@@ -282,7 +326,7 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
         // Causality-window violation: lazy re-enqueue, same timestamp,
         // one more defer spent.
         deferred.fetch_add(1, std::memory_order_relaxed);
-        handle.spawn({t, {ev.chain, ev.step, ev.defers + 1}});
+        spawn_event(handle, {t, {ev.chain, ev.step, ev.defers + 1}});
         return false;
       }
     }
@@ -309,7 +353,7 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
     // pop yet.  store_max, not store — the successor's worker may have
     // already advanced the entry further.
     if (tr.depart <= p.horizon) {
-      handle.spawn({tr.depart, {ev.chain, ev.step + 1, 0}});
+      spawn_event(handle, {tr.depart, {ev.chain, ev.step + 1, 0}});
       detail::store_max(chain_time[ev.chain], tr.depart);
     } else {
       detail::store_max(chain_time[ev.chain], kInf);
@@ -325,7 +369,8 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
 
   DesRun run;
   run.runner = run_relaxed(storage, k_policy, seeds, expand, stats,
-                           std::forward<PopHook>(hook));
+                           std::forward<PopHook>(hook),
+                           expiry ? &wheel : nullptr);
   run.deferred = deferred.load(std::memory_order_relaxed);
   run.inversions = inversions.load(std::memory_order_relaxed);
   run.floor_checks = floor_checks.load(std::memory_order_relaxed);

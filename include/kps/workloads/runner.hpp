@@ -43,8 +43,29 @@
 #include "support/backoff.hpp"
 #include "support/failpoint.hpp"
 #include "support/stats.hpp"
+#include "support/timer_wheel.hpp"
 
 namespace kps {
+
+/// What a fired deadline does to its task (PR 7 lifecycle).
+enum class TimerAction {
+  cancel,    // expire: tombstone the residency, drop it from pending
+  escalate,  // soft deadline: detach + re-push at a better priority
+};
+
+/// One armed deadline, parked in the runner's timer wheel until the
+/// logical clock (claimed-pop count) reaches its tick.
+template <typename PrioT>
+struct TimerOp {
+  TimerAction action = TimerAction::cancel;
+  TaskHandle handle{};
+  PrioT priority{};  // escalate only: the new (better) priority
+};
+
+/// The wheel type run_relaxed drives for a given storage.
+template <typename Storage>
+using RunnerTimerWheel =
+    TimerWheel<TimerOp<typename Storage::task_type::priority_type>>;
 
 struct RunnerResult {
   double seconds = 0;
@@ -67,10 +88,19 @@ template <typename Storage>
 class RunnerHandle {
  public:
   using task_type = typename Storage::task_type;
+  using priority_type = typename task_type::priority_type;
+  using wheel_type = RunnerTimerWheel<Storage>;
 
   RunnerHandle(Storage& storage, typename Storage::Place& place,
-               const int& k, std::atomic<std::int64_t>& pending)
-      : storage_(&storage), place_(&place), k_(&k), pending_(&pending) {}
+               const int& k, std::atomic<std::int64_t>& pending,
+               wheel_type* wheel = nullptr,
+               std::atomic<std::uint64_t>* ticks = nullptr)
+      : storage_(&storage),
+        place_(&place),
+        k_(&k),
+        pending_(&pending),
+        wheel_(wheel),
+        ticks_(ticks) {}
 
   std::size_t place_index() const { return place_->index; }
 
@@ -91,11 +121,70 @@ class RunnerHandle {
     }
   }
 
+  /// spawn() that returns the child's lifecycle handle (invalid when the
+  /// child itself was rejected/shed, or lifecycle is off).  Same pending
+  /// accounting: a valid handle means the child resides in the storage.
+  TaskHandle spawn_tracked(task_type task) {
+    pending_->fetch_add(1, std::memory_order_relaxed);
+    const auto out = storage_->try_push(*place_, *k_, std::move(task));
+    if (!out.accepted || out.shed.has_value()) {
+      pending_->fetch_sub(1, std::memory_order_acq_rel);
+    }
+    return out.handle;
+  }
+
+  /// Tombstone a spawned-but-unexecuted task.  On success the residency
+  /// will never be claimed as work, so it stops holding the termination
+  /// counter — the decrement here is the cancelled task's "execution".
+  /// False (already consumed / cancelled / stale handle) changes nothing.
+  bool cancel(TaskHandle h) {
+    if (!storage_->cancel(*place_, h)) return false;
+    pending_->fetch_sub(1, std::memory_order_acq_rel);
+    return true;
+  }
+
+  /// Decrease-key: detach + re-push at `priority`.  Pending moves only if
+  /// the residency count actually changed — detached but the requeue was
+  /// rejected or shed a task (either the re-pushed task itself or a
+  /// displaced resident; one task left the system either way).
+  ReprioritizeOutcome<task_type> reprioritize(TaskHandle h,
+                                              priority_type priority) {
+    auto out = storage_->reprioritize(*place_, h, priority);
+    if (out.detached &&
+        (!out.requeue.accepted || out.requeue.shed.has_value())) {
+      pending_->fetch_sub(1, std::memory_order_acq_rel);
+    }
+    return out;
+  }
+
+  /// Logical now: claimed pops so far, runner-wide.  0 without a wheel.
+  std::uint64_t now() const {
+    return ticks_ ? ticks_->load(std::memory_order_relaxed) : 0;
+  }
+
+  /// Arm "expire h after `delay` more claimed pops".  No-op (false) when
+  /// the runner was started without a wheel.
+  bool schedule_cancel(std::uint64_t delay, TaskHandle h) {
+    if (!wheel_ || !h.valid()) return false;
+    wheel_->schedule(now() + delay, {TimerAction::cancel, h, {}});
+    return true;
+  }
+
+  /// Arm "re-push h at `priority` after `delay` more claimed pops".
+  bool schedule_escalate(std::uint64_t delay, TaskHandle h,
+                         priority_type priority) {
+    if (!wheel_ || !h.valid()) return false;
+    wheel_->schedule(now() + delay, {TimerAction::escalate, h, priority});
+    return true;
+  }
+
  private:
   Storage* storage_;
   typename Storage::Place* place_;
   const int* k_;
   std::atomic<std::int64_t>* pending_;
+  wheel_type* wheel_ = nullptr;
+  std::atomic<std::uint64_t>* ticks_ = nullptr;
 };
 
 /// Default pop hook: observe nothing.
@@ -109,7 +198,8 @@ template <typename Storage, RelaxationPolicy Policy, typename ExpandFn,
 RunnerResult run_relaxed(Storage& storage, const Policy& policy,
                          const std::vector<typename Storage::task_type>& seeds,
                          ExpandFn&& expand, StatsRegistry* stats = nullptr,
-                         PopHook&& pop_hook = {}) {
+                         PopHook&& pop_hook = {},
+                         RunnerTimerWheel<Storage>* wheel = nullptr) {
   const std::size_t P = storage.places();
 
   RunnerResult result;
@@ -153,10 +243,35 @@ RunnerResult run_relaxed(Storage& storage, const Policy& policy,
     }
   }
 
+  // Logical clock for the timer wheel: claimed pops, runner-wide.  At
+  // P = 1 it advances deterministically with the execution order, so
+  // seeded timer tests replay exactly; at P > 1 it is a coherent "work
+  // units consumed" measure independent of wall time.
+  std::atomic<std::uint64_t> ticks{0};
+
   auto worker = [&](std::size_t place_idx) {
     auto& place = storage.place(place_idx);
     Local& local = locals[place_idx];
-    RunnerHandle<Storage> handle(storage, place, local.current_k, pending);
+    RunnerHandle<Storage> handle(storage, place, local.current_k, pending,
+                                 wheel, &ticks);
+    // Deliver deadline actions against this worker's own place; counter
+    // credit (timers_fired + the cancel/reap counters inside the storage)
+    // lands on the advancing place, matching every other lifecycle op.
+    auto fire = [&](std::uint64_t /*when*/, const auto& op) {
+      if (op.action == TimerAction::cancel) {
+        // A consumed/stale handle fails harmlessly; pending only moves
+        // when a real residency was tombstoned (its "execution").
+        if (storage.cancel(place, op.handle)) {
+          pending.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      } else {
+        const auto out = storage.reprioritize(place, op.handle, op.priority);
+        if (out.detached &&
+            (!out.requeue.accepted || out.requeue.shed.has_value())) {
+          pending.fetch_sub(1, std::memory_order_acq_rel);
+        }
+      }
+    };
     // Capped exponential backoff on the idle path (replaces the flat
     // yield-every-64 counter): idle places back off harder the longer the
     // drought, instead of hammering pop() on shared state.
@@ -173,6 +288,15 @@ RunnerResult run_relaxed(Storage& storage, const Policy& policy,
         continue;
       }
       idle.reset();
+
+      if (wheel) {
+        const std::uint64_t now =
+            ticks.fetch_add(1, std::memory_order_relaxed) + 1;
+        const std::size_t fired = wheel->advance(now, fire);
+        if (fired && stats) {
+          stats->place(place_idx).inc(Counter::timers_fired, fired);
+        }
+      }
 
       pop_hook(place_idx, *task);
       const bool useful = expand(handle, *task);
@@ -222,10 +346,11 @@ template <typename Storage, typename ExpandFn, typename PopHook = NoPopHook>
 RunnerResult run_relaxed(Storage& storage, int k,
                          const std::vector<typename Storage::task_type>& seeds,
                          ExpandFn&& expand, StatsRegistry* stats = nullptr,
-                         PopHook&& pop_hook = {}) {
+                         PopHook&& pop_hook = {},
+                         RunnerTimerWheel<Storage>* wheel = nullptr) {
   return run_relaxed(storage, FixedK(k), seeds,
                      std::forward<ExpandFn>(expand), stats,
-                     std::forward<PopHook>(pop_hook));
+                     std::forward<PopHook>(pop_hook), wheel);
 }
 
 }  // namespace kps

@@ -64,7 +64,7 @@ void churn(bool occupancy_summary, bool hierarchical_min, int k,
     Xoshiro256 rng(t + 1);
     local[t].reserve(per_thread);
     for (std::uint64_t i = 0; i < per_thread; ++i) {
-      storage.push(place, k, {rng.next_unit(), t * per_thread + i});
+      kps::push(storage, place, k, {rng.next_unit(), t * per_thread + i});
       // Pop roughly every other push so the window stays half-churned:
       // claims, clears, heals, and overflow traffic all interleave.
       if (i & 1) {
@@ -138,7 +138,7 @@ void counter_split_empty() {
   auto& place = storage.place(0);
 
   assert(!storage.pop(place));
-  storage.push(place, 64, {0.5, 1});
+  kps::push(storage, place, 64, {0.5, 1});
   assert(storage.pop(place));
   assert(!storage.pop(place));
 
@@ -169,9 +169,9 @@ void overflow_recheck_race() {
     cfg.seed = static_cast<std::uint64_t>(r + 1);
     StatsRegistry stats(2);
     CentralizedKpq<TestTask> storage(2, cfg, &stats);
-    storage.push(storage.place(0), 1, {5.0, 0});  // window
-    storage.push(storage.place(0), 1, {1.0, 1});  // overflow (good)
-    storage.push(storage.place(0), 1, {6.0, 2});  // overflow (bad)
+    kps::push(storage, storage.place(0), 1, {5.0, 0});  // window
+    kps::push(storage, storage.place(0), 1, {1.0, 1});  // overflow (good)
+    kps::push(storage, storage.place(0), 1, {6.0, 2});  // overflow (bad)
 
     g_race_arrivals.store(0, std::memory_order_relaxed);
     g_race_armed.store(true, std::memory_order_release);

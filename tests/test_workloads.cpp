@@ -152,7 +152,7 @@ void test_segment_spill_unit() {
   const int kTasks = 128;
   for (int i = 0; i < kTasks; ++i) {
     // Decreasing priorities adversarially interleave segment runs.
-    storage.push(place, 8, {static_cast<double>(kTasks - i), 0u});
+    kps::push(storage, place, 8, {static_cast<double>(kTasks - i), 0u});
   }
   const PlaceStats mid = stats.total();
   assert(mid.get(Counter::segment_spills) >= 1);
