@@ -18,9 +18,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <initializer_list>
 #include <iterator>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,6 +34,7 @@
 #include "graph/sssp.hpp"
 #include "support/failpoint.hpp"
 #include "support/stats.hpp"
+#include "support/telemetry.hpp"
 
 namespace kps::bench {
 
@@ -425,6 +428,111 @@ struct SsspAggregate {
   PlaceStats counters;  // summed over runs
 };
 
+/// Shared --trace-out / --metrics-out plumbing (PR 8 telemetry): when
+/// either flag is given, the FIRST measured run gets a full observability
+/// harness attached — a Tracer wired into the storage places, queue-delay
+/// and pop-latency histograms, and a Telemetry sampler — and its outputs
+/// land in the named files (Chrome trace-event JSON for Perfetto /
+/// about:tracing, and the counter time series).  Only one run is
+/// instrumented so a sweep bench exports one coherent capture instead of
+/// overwriting the files once per sweep point.
+inline constexpr const char* kTraceOutFlag = "trace-out";
+inline constexpr const char* kMetricsOutFlag = "metrics-out";
+
+class TelemetrySession {
+ public:
+  explicit TelemetrySession(const Args& args)
+      : trace_path_(args.value_s(kTraceOutFlag, "")),
+        metrics_path_(args.value_s(kMetricsOutFlag, "")) {}
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  bool active() const {
+    return !trace_path_.empty() || !metrics_path_.empty();
+  }
+
+  /// Attach the harness to the run being configured — first call only;
+  /// later calls (subsequent sweep points) return nullptr and leave cfg
+  /// untouched.  `stats` must outlive the matching capture().
+  RunnerObs* arm(StorageConfig& cfg, StatsRegistry& stats,
+                 std::size_t places) {
+    if (!active() || armed_) return nullptr;
+    armed_ = true;
+    tracer_ = std::make_unique<Tracer>(places);
+    queue_delay_ = std::make_unique<Histogram>(places);
+    pop_latency_ = std::make_unique<Histogram>(places);
+    telemetry_ = std::make_unique<Telemetry>(&stats);
+    telemetry_->attach_tracer(tracer_.get());
+    cfg.trace = tracer_.get();
+    cfg.queue_delay = queue_delay_.get();
+    // Queue-delay stamping rides the lifecycle nodes (spawn_ns lives in
+    // the control block), so the instrumented run turns lifecycle on.
+    cfg.enable_lifecycle = true;
+    obs_.pop_latency = pop_latency_.get();
+    obs_.queue_delay = queue_delay_.get();
+    obs_.tracer = tracer_.get();
+    obs_.telemetry = telemetry_.get();
+    telemetry_->start();
+    return &obs_;
+  }
+
+  /// Stop sampling, write the requested files, and print a one-block
+  /// summary.  Must run before the StatsRegistry handed to arm() dies.
+  void capture() {
+    if (!armed_ || captured_) return;
+    captured_ = true;
+    telemetry_->stop();
+    const std::vector<TraceRecord> records = tracer_->drain();
+    const std::uint64_t drops = tracer_->drops();
+    if (!trace_path_.empty()) {
+      std::ofstream os(trace_path_);
+      if (!os) {
+        std::fprintf(stderr, "error: --%s: cannot open '%s'\n",
+                     kTraceOutFlag, trace_path_.c_str());
+        std::exit(2);
+      }
+      write_chrome_trace(os, records, drops);
+      std::printf("# trace: %zu events (%llu dropped) -> %s\n",
+                  records.size(), static_cast<unsigned long long>(drops),
+                  trace_path_.c_str());
+    }
+    if (!metrics_path_.empty()) {
+      std::ofstream os(metrics_path_);
+      if (!os) {
+        std::fprintf(stderr, "error: --%s: cannot open '%s'\n",
+                     kMetricsOutFlag, metrics_path_.c_str());
+        std::exit(2);
+      }
+      write_metrics_json(os, *telemetry_);
+      std::printf("# metrics: %zu samples -> %s\n",
+                  telemetry_->series().size(), metrics_path_.c_str());
+    }
+    print_hist("pop-latency", pop_latency_->snapshot());
+    print_hist("queue-delay", queue_delay_->snapshot());
+  }
+
+ private:
+  static void print_hist(const char* what, const HistogramSnapshot& h) {
+    std::printf("# %s ns: n=%llu p50=%llu p99=%llu p99.9=%llu max=%llu\n",
+                what, static_cast<unsigned long long>(h.count),
+                static_cast<unsigned long long>(h.quantile(0.50)),
+                static_cast<unsigned long long>(h.quantile(0.99)),
+                static_cast<unsigned long long>(h.quantile(0.999)),
+                static_cast<unsigned long long>(h.max));
+  }
+
+  std::string trace_path_;
+  std::string metrics_path_;
+  bool armed_ = false;
+  bool captured_ = false;
+  std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<Histogram> queue_delay_;
+  std::unique_ptr<Histogram> pop_latency_;
+  std::unique_ptr<Telemetry> telemetry_;
+  RunnerObs obs_;
+};
+
 /// One parallel-SSSP measurement with a fresh registry-built storage per
 /// run.  `k_policy` is a plain int (fixed window) or any
 /// RelaxationPolicy; the storage's window capacity (cfg.k_max) must be
@@ -433,15 +541,18 @@ template <typename KPolicy = int>
 void run_sssp(const std::string& storage_name, const Graph& g,
               std::size_t places, KPolicy k_policy, int k_cap,
               std::uint64_t seed, SsspAggregate& agg,
-              StorageConfig extra = {}) {
+              StorageConfig extra = {},
+              TelemetrySession* session = nullptr) {
   StorageConfig cfg = extra;
   cfg.k_max = std::max(k_cap, 1);
   cfg.default_k = std::max(k_cap, 1);
   cfg.seed = seed;
   StatsRegistry stats(places);
+  RunnerObs* obs = session ? session->arm(cfg, stats, places) : nullptr;
   AnyStorage<SsspTask> storage =
       make_storage<SsspTask>(storage_name, places, cfg, &stats);
-  auto result = parallel_sssp(g, 0, storage, k_policy, &stats);
+  auto result = parallel_sssp(g, 0, storage, k_policy, &stats, 0, obs);
+  if (obs) session->capture();  // before `stats` dies — the sampler reads it
   agg.seconds.add(result.seconds);
   agg.nodes_relaxed.add(static_cast<double>(result.nodes_relaxed));
   agg.tasks_spawned.add(static_cast<double>(result.tasks_spawned));
@@ -451,8 +562,9 @@ void run_sssp(const std::string& storage_name, const Graph& g,
 /// Fixed-window shorthand: the per-op window doubles as the capacity.
 inline void run_sssp(const std::string& storage_name, const Graph& g,
                      std::size_t places, int k, std::uint64_t seed,
-                     SsspAggregate& agg, StorageConfig extra = {}) {
-  run_sssp(storage_name, g, places, k, k, seed, agg, extra);
+                     SsspAggregate& agg, StorageConfig extra = {},
+                     TelemetrySession* session = nullptr) {
+  run_sssp(storage_name, g, places, k, k, seed, agg, extra, session);
 }
 
 inline void print_header(const char* title, const Workload& w) {

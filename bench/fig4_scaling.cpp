@@ -26,7 +26,8 @@ struct Row {
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args(argc, argv, {"k", "maxp"});
+  Args args(argc, argv, {"k", "maxp", kTraceOutFlag, kMetricsOutFlag});
+  TelemetrySession session(args);
   Workload w = workload_from_args(args);
   if (!args.flag("paper")) {
     w.n = args.value("n", 10000);
@@ -60,7 +61,10 @@ int main(int argc, char** argv) {
       }
       run_sssp("ws_priority", graph, row.P, k, 10 * g + 1, row.ws);
       run_sssp("centralized", graph, row.P, k, 10 * g + 2, row.central);
-      run_sssp("hybrid", graph, row.P, k, 10 * g + 3, row.hybrid);
+      // The headline storage carries the telemetry capture (--trace-out /
+      // --metrics-out): the first hybrid run of the sweep is instrumented.
+      run_sssp("hybrid", graph, row.P, k, 10 * g + 3, row.hybrid, {},
+               &session);
     }
     std::fprintf(stderr, "graph %llu/%llu done\n",
                  static_cast<unsigned long long>(g + 1),

@@ -98,8 +98,10 @@ class CentralizedKpq
   struct alignas(kCacheLine) Place {
     std::size_t index = 0;
     PlaceCounters* counters = nullptr;
+    Tracer* trace = nullptr;
     Xoshiro256 rng;
     EpochThread epoch;
+    std::uint64_t rank_probe_tick = 0;  // pops since the last rank probe
   };
 
   CentralizedKpq(std::size_t places, StorageConfig cfg,
@@ -113,7 +115,8 @@ class CentralizedKpq
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg, stats);
     gate_.init(cfg_);
-    this->ledger_.init(cfg_.enable_lifecycle);
+    this->ledger_.init(cfg_.enable_lifecycle, cfg_.queue_delay,
+                       cfg_.delay_sample);
     for (auto& s : window_) s.store(nullptr, std::memory_order_relaxed);
     for (auto& w : summary_) w.store(0, std::memory_order_relaxed);
     for (auto& p : places_) p.epoch = domain_.register_thread();
@@ -135,23 +138,24 @@ class CentralizedKpq
     PushOutcome<TaskT> out;
     if (gate_.at_capacity()) {
       if (gate_.policy() == OverflowPolicy::reject) {
-        return detail::reject_incoming<TaskT>(p.counters);
+        return detail::reject_incoming<TaskT>(p);
       }
       // shed_lowest: trade against the overflow tier under its lock, so
       // the eviction and the replacement insert are one atomic step and
       // the resident count is untouched.
       overflow_lock_.lock();
-      if (detail::displace_worst(overflow_, task, this->ledger_,
-                                 p.counters, &out)) {
+      if (detail::displace_worst(overflow_, task, this->ledger_, p, &out)) {
         publish_overflow_min();
         overflow_lock_.unlock();
         return out;
       }
       overflow_lock_.unlock();
-      return detail::shed_incoming(std::move(task), p.counters);
+      return detail::shed_incoming(p, std::move(task));
     }
 
     p.counters->inc(Counter::tasks_spawned);
+    // Every path below admits the task (window slot or overflow heap).
+    detail::trace_ev(p, TraceEv::push);
     const std::size_t window = window_size(k);
     auto* node = new Entry(this->ledger_.wrap(std::move(task), &out.handle));
     // No epoch pin here: push only loads slot pointers and CASes
@@ -256,7 +260,7 @@ class CentralizedKpq
                 overflow_.top().task.priority < best->task.priority)) {
           Entry e = overflow_.pop();
           gate_.add(-1);
-          if (this->ledger_.claim(e)) {
+          if (this->ledger_.claim_popped(e, p.index)) {
             taken = std::move(e.task);
             break;
           }
@@ -266,6 +270,7 @@ class CentralizedKpq
         overflow_lock_.unlock();
         if (taken) {
           p.counters->inc(Counter::tasks_executed);
+          detail::trace_ev(p, TraceEv::pop);
           return taken;
         }
         if (best) {
@@ -280,7 +285,7 @@ class CentralizedKpq
           window_[best_idx].compare_exchange_strong(
               expected, nullptr, std::memory_order_acq_rel,
               std::memory_order_relaxed)) {
-        const bool live = this->ledger_.claim(*best);
+        const bool live = this->ledger_.claim_popped(*best, p.index);
         std::optional<TaskT> out;
         if (live) out = best->task;
         if (cfg_.occupancy_summary) clear_bit_healed(best_idx);
@@ -290,6 +295,18 @@ class CentralizedKpq
         gate_.add(-1);
         if (live) {
           p.counters->inc(Counter::tasks_executed);
+          detail::trace_ev(p, TraceEv::pop);
+          // Sampled rank-error probe (PR 8): every rank_probe-th
+          // successful window claim measures how many published tasks
+          // strictly beat the one we took — A1's aggregate ratio as a
+          // live distribution.  Still inside the epoch guard, so the
+          // slot pointers the scan reads cannot be freed under it.
+          if (cfg_.rank_probe > 0 &&
+              ++p.rank_probe_tick >=
+                  static_cast<std::uint64_t>(cfg_.rank_probe)) {
+            p.rank_probe_tick = 0;
+            probe_rank(p, static_cast<double>(out->priority));
+          }
           return out;
         }
         // Tombstone reaped: that is progress, not a failed claim — spend
@@ -301,9 +318,8 @@ class CentralizedKpq
       p.counters->inc(Counter::pop_cas_failures);
     }
     // Contention (lost every claim race) and drain (nothing anywhere)
-    // used to exit through one counter; the split keeps them apart in
-    // every figure.  pop_failures stays the total.
-    p.counters->inc(Counter::pop_failures);
+    // exit through the split counters; pop_failures is DERIVED as their
+    // sum at snapshot time (support/stats.hpp), never written here.
     p.counters->inc(saw_empty ? Counter::pop_empty : Counter::pop_contended);
     return std::nullopt;
   }
@@ -467,6 +483,38 @@ class CentralizedKpq
     if (window_[idx].load(std::memory_order_acquire) != nullptr) {
       word.fetch_or(bit, std::memory_order_release);
     }
+  }
+
+  /// Window-visible rank error of a just-claimed task: published window
+  /// entries whose priority strictly beats it.  Must run under the
+  /// caller's epoch guard.  Tombstoned entries are counted as published
+  /// (checking liveness would race the canceller for no measurement
+  /// gain); with lifecycle off — the A1 configuration — the count is
+  /// exact for the window tier.
+  void probe_rank(Place& p, double claimed) {
+    std::uint64_t rank = 0;
+    if (cfg_.occupancy_summary) {
+      for (std::size_t w = 0; w < summary_.size(); ++w) {
+        std::uint64_t occ = summary_[w].load(std::memory_order_acquire);
+        while (occ) {
+          const std::size_t idx =
+              w * 64 + static_cast<std::size_t>(std::countr_zero(occ));
+          occ &= occ - 1;
+          Entry* node = window_[idx].load(std::memory_order_acquire);
+          if (node && static_cast<double>(node->task.priority) < claimed) {
+            ++rank;
+          }
+        }
+      }
+    } else {
+      for (std::size_t i = 0; i < window_.size(); ++i) {
+        Entry* node = window_[i].load(std::memory_order_acquire);
+        if (node && static_cast<double>(node->task.priority) < claimed) {
+          ++rank;
+        }
+      }
+    }
+    cfg_.rank_error->record(p.index, rank);
   }
 
   std::size_t window_size(int k) const {

@@ -31,6 +31,7 @@ class GlobalLockedPq
   struct Place {
     std::size_t index = 0;
     PlaceCounters* counters = nullptr;
+    Tracer* trace = nullptr;
   };
 
   GlobalLockedPq(std::size_t places, StorageConfig cfg,
@@ -39,7 +40,8 @@ class GlobalLockedPq
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
     gate_.init(cfg_);
-    this->ledger_.init(cfg_.enable_lifecycle);
+    this->ledger_.init(cfg_.enable_lifecycle, cfg_.queue_delay,
+                       cfg_.delay_sample);
   }
 
   std::size_t places() const { return places_.size(); }
@@ -56,18 +58,18 @@ class GlobalLockedPq
       std::lock_guard<std::mutex> lk(mutex_);
       if (gate_.at_capacity()) {
         if (gate_.policy() == OverflowPolicy::reject) {
-          return detail::reject_incoming<TaskT>(p.counters);
+          return detail::reject_incoming<TaskT>(p);
         }
-        if (detail::displace_worst(heap_, task, this->ledger_,
-                                   p.counters, &out)) {
+        if (detail::displace_worst(heap_, task, this->ledger_, p, &out)) {
           return out;
         }
-        return detail::shed_incoming(std::move(task), p.counters);
+        return detail::shed_incoming(p, std::move(task));
       }
       heap_.push(this->ledger_.wrap(std::move(task), &out.handle));
       gate_.add(1);
     }
     p.counters->inc(Counter::tasks_spawned);
+    detail::trace_ev(p, TraceEv::push);
     return out;
   }
 
@@ -79,14 +81,21 @@ class GlobalLockedPq
       while (!heap_.empty()) {
         Entry e = heap_.pop();
         gate_.add(-1);
-        if (this->ledger_.claim(e)) {
+        if (this->ledger_.claim_popped(e, p.index)) {
           out = std::move(e.task);
           break;
         }
         p.counters->inc(Counter::tombstones_reaped);
       }
     }
-    p.counters->inc(out ? Counter::tasks_executed : Counter::pop_failures);
+    if (out) {
+      p.counters->inc(Counter::tasks_executed);
+      detail::trace_ev(p, TraceEv::pop);
+    } else {
+      // A failed pop under the global lock saw the whole structure: it
+      // was genuinely empty (never contended — the lock serializes claims).
+      p.counters->inc(Counter::pop_empty);
+    }
     return out;
   }
 

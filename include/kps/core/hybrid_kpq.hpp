@@ -95,6 +95,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
   struct alignas(kCacheLine) Place {
     std::size_t index = 0;
     PlaceCounters* counters = nullptr;
+    Tracer* trace = nullptr;
     Xoshiro256 rng;
 
     // Private tier.  The lock is the owner's own cache line; spies only
@@ -146,7 +147,8 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
     gate_.init(cfg_);
-    this->ledger_.init(cfg_.enable_lifecycle);
+    this->ledger_.init(cfg_.enable_lifecycle, cfg_.queue_delay,
+                       cfg_.delay_sample);
   }
 
   std::size_t places() const { return places_.size(); }
@@ -161,12 +163,12 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     PushOutcome<TaskT> out;
     if (gate_.at_capacity()) {
       if (gate_.policy() == OverflowPolicy::reject) {
-        return detail::reject_incoming<TaskT>(p.counters);
+        return detail::reject_incoming<TaskT>(p);
       }
       p.private_lock.lock();
       if (!p.private_heap.empty()) {
-        if (detail::displace_worst(p.private_heap, task, this->ledger_,
-                                   p.counters, &out)) {
+        if (detail::displace_worst(p.private_heap, task, this->ledger_, p,
+                                   &out)) {
           p.publish_private_min();
           p.private_lock.unlock();
           return out;
@@ -175,8 +177,8 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
       } else {
         p.private_lock.unlock();
         p.pub_lock.lock();
-        if (detail::displace_worst(p.pub_heap, task, this->ledger_,
-                                   p.counters, &out)) {
+        if (detail::displace_worst(p.pub_heap, task, this->ledger_, p,
+                                   &out)) {
           p.publish_pub_min();
           p.pub_lock.unlock();
           refresh_global_pub_min();
@@ -184,7 +186,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
         }
         p.pub_lock.unlock();
       }
-      return detail::shed_incoming(std::move(task), p.counters);
+      return detail::shed_incoming(p, std::move(task));
     }
 
     push_accepted(p, k, std::move(task), &out.handle);
@@ -194,6 +196,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
  private:
   void push_accepted(Place& p, int k, TaskT task, TaskHandle* handle) {
     p.counters->inc(Counter::tasks_spawned);
+    detail::trace_ev(p, TraceEv::push);
     gate_.add(1);
     if (k <= 0) {
       // k = 0: no relaxation budget — every push is its own publish.
@@ -204,6 +207,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
       refresh_global_pub_min();
       p.counters->inc(Counter::publishes);
       p.counters->inc(Counter::published_items);
+      detail::trace_ev(p, TraceEv::publish, 1);
       return;
     }
 
@@ -269,6 +273,8 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     refresh_global_pub_min();
     p.counters->inc(Counter::publishes);
     p.counters->inc(Counter::published_items, flushed);
+    detail::trace_ev(p, TraceEv::publish,
+                     static_cast<std::uint32_t>(flushed));
   }
 
  public:
@@ -279,6 +285,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     // happens only on published-tier mutations, never here.  Tombstones
     // surfacing at the top are reaped in place, re-exposing the next best
     // to the same redirect check.
+    bool saw_tasks = false;
     p.private_lock.lock();
     while (!p.private_heap.empty()) {
       const double mine =
@@ -286,10 +293,11 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
       if (global_pub_min_.load(std::memory_order_acquire) < mine) break;
       Entry e = p.private_heap.pop();
       p.publish_private_min();
-      if (this->ledger_.claim(e)) {
+      if (this->ledger_.claim_popped(e, p.index)) {
         p.private_lock.unlock();
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
+        detail::trace_ev(p, TraceEv::pop);
         return std::move(e.task);
       }
       p.counters->inc(Counter::tombstones_reaped);
@@ -302,9 +310,11 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     for (std::size_t attempt = 0; attempt < places_.size() + 1; ++attempt) {
       const std::size_t victim = best_published_place();
       if (victim == kNone) break;
+      saw_tasks = true;
       if (auto out = try_pop_published(places_[victim], p)) {
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
+        detail::trace_ev(p, TraceEv::pop);
         return out;
       }
     }
@@ -312,14 +322,16 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     // The published world is empty; fall back to our own private tasks
     // (they exist if the tier check above redirected us here on a race).
     if (had_private) {
+      saw_tasks = true;
       p.private_lock.lock();
       while (!p.private_heap.empty()) {
         Entry e = p.private_heap.pop();
         p.publish_private_min();
-        if (this->ledger_.claim(e)) {
+        if (this->ledger_.claim_popped(e, p.index)) {
           p.private_lock.unlock();
           gate_.add(-1);
           p.counters->inc(Counter::tasks_executed);
+          detail::trace_ev(p, TraceEv::pop);
           return std::move(e.task);
         }
         p.counters->inc(Counter::tombstones_reaped);
@@ -330,14 +342,18 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
 
     // Spy: claim the best task still private to another place.
     if (cfg_.enable_spying) {
-      if (auto out = spy(p)) {
+      if (auto out = spy(p, saw_tasks)) {
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
+        detail::trace_ev(p, TraceEv::pop);
         return out;
       }
     }
 
-    p.counters->inc(Counter::pop_failures);
+    // Classification: "contended" if any tier advertised tasks this place
+    // failed to claim (lost try_locks, raced-away shards, tombstone-only
+    // sweeps); "empty" if every tier looked drained.
+    p.counters->inc(saw_tasks ? Counter::pop_contended : Counter::pop_empty);
     return std::nullopt;
   }
 
@@ -501,7 +517,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
         e = shard.pub_heap.pop();
       }
       touched = true;
-      if (this->ledger_.claim(e)) {
+      if (this->ledger_.claim_popped(e, p.index)) {
         out = std::move(e.task);
         break;
       }
@@ -514,7 +530,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     return out;
   }
 
-  std::optional<TaskT> spy(Place& p) {
+  std::optional<TaskT> spy(Place& p, bool& saw_tasks) {
     if (KPS_FAILPOINT_FAIL("hybrid.spy")) return std::nullopt;
     // Pick the victim advertising the best private task; never spin on a
     // victim's lock — its owner is on the hot path.
@@ -529,13 +545,14 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
       }
     }
     if (idx == kNone) return std::nullopt;
+    saw_tasks = true;
     Place& victim = places_[idx];
     if (!victim.private_lock.try_lock()) return std::nullopt;
     std::optional<TaskT> out;
     while (!victim.private_heap.empty()) {
       Entry e = victim.private_heap.pop();
       victim.publish_private_min();
-      if (this->ledger_.claim(e)) {
+      if (this->ledger_.claim_popped(e, p.index)) {
         out = std::move(e.task);
         break;
       }
@@ -543,7 +560,12 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
       gate_.add(-1);
     }
     victim.private_lock.unlock();
-    if (out) p.counters->inc(Counter::spied_items);
+    if (out) {
+      p.counters->inc(Counter::spied_items);
+      // Spy records on the SPY'S own ring (SPSC: one writer per ring);
+      // the victim's id rides in arg.
+      detail::trace_ev(p, TraceEv::spy, static_cast<std::uint32_t>(idx));
+    }
     return out;
   }
 

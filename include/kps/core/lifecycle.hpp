@@ -45,7 +45,9 @@
 // tombstone_overhead row holds this under 5%.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -54,8 +56,10 @@
 #include <vector>
 
 #include "support/failpoint.hpp"
+#include "support/histogram.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 namespace kps {
 
@@ -131,6 +135,11 @@ struct alignas(kCacheLine) LifecycleNode {
   std::atomic<std::uint64_t> word{0};
   TaskT task{};
   LifecycleNode* next = nullptr;  // free-list link, touched under the pool lock
+  // Enqueue timestamp for the queue-delay histogram (PR 8): written by
+  // wrap() before the live-publishing store, read by the entry's
+  // exclusive owner before claim recycles the block.  Plain field —
+  // same publication discipline as `task`.
+  std::uint64_t spawn_ns = 0;
 };
 
 /// The element type every storage container actually holds: the task
@@ -158,7 +167,18 @@ class LifecycleLedger {
   using Node = LifecycleNode<TaskT>;
   using Entry = LcEntry<TaskT>;
 
-  void init(bool enabled) { enabled_ = enabled; }
+  /// `queue_delay` (PR 8, optional): wrap stamps the block with steady
+  /// ns and the pop-side claim_popped() records the enqueue→pop delay
+  /// into the histogram.  `delay_sample` is the 1-in-N stamping period
+  /// (StorageConfig::delay_sample): the two clock reads per stamped
+  /// task are the dominant recording cost, so production captures
+  /// sample; 1 stamps every task.
+  void init(bool enabled, Histogram* queue_delay = nullptr,
+            int delay_sample = 1) {
+    enabled_ = enabled;
+    queue_delay_ = enabled ? queue_delay : nullptr;
+    delay_sample_ = std::max(delay_sample, 1);
+  }
   bool enabled() const { return enabled_; }
 
   /// Wrap a task for insertion.  Tracking disabled: null block, invalid
@@ -171,6 +191,11 @@ class LifecycleLedger {
     }
     Node* n = acquire();
     n->task = task;
+    // spawn_ns == 0 means "not stamped" (blocks are recycled, so an
+    // unsampled wrap must clear any stale stamp).  steady_clock is
+    // monotonic from boot — 0 never occurs as a real post-boot stamp.
+    n->spawn_ns =
+        (queue_delay_ != nullptr && sampled_this_wrap()) ? now_ns() : 0;
     const std::uint64_t gen = (n->word.load(std::memory_order_relaxed) >> 2) + 1;
     n->word.store((gen << 2) | kLcLive, std::memory_order_release);
     *handle = {n, gen};
@@ -236,7 +261,41 @@ class LifecycleLedger {
     return false;
   }
 
+  /// claim() for POP paths: additionally records the enqueue→pop delay
+  /// of a successfully claimed task on `place`.  The spawn stamp is read
+  /// BEFORE the claim CAS — a successful claim recycles the block, and a
+  /// racing wrap on another thread may overwrite the stamp immediately
+  /// after.  (The pre-claim read is safe: the entry's exclusive owner is
+  /// the only thread that can retire this residency.)  Shed/displace
+  /// claims keep using claim() — an evicted task was never popped, so it
+  /// must not pollute the latency distribution.
+  bool claim_popped(Entry& e, std::size_t place) {
+    if (queue_delay_ == nullptr || e.lc == nullptr) return claim(e);
+    const std::uint64_t born = e.lc->spawn_ns;
+    if (born == 0) return claim(e);  // this task's wrap was not sampled
+    if (!claim(e)) return false;
+    const std::uint64_t now = now_ns();
+    queue_delay_->record(place, now > born ? now - born : 0);
+    return true;
+  }
+
  private:
+  /// 1-in-delay_sample_ stamping decision.  The tick is thread-local
+  /// (same pattern as the block stash): per-thread round-robin needs no
+  /// shared atomic, and each worker stamps every N-th of ITS spawns,
+  /// which is exactly the per-place coverage the histogram wants.
+  bool sampled_this_wrap() {
+    if (delay_sample_ <= 1) return true;
+    static thread_local std::uint32_t tick = 0;
+    return ++tick % static_cast<std::uint32_t>(delay_sample_) == 0;
+  }
+
+  static std::uint64_t now_ns() {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
   static constexpr std::size_t kChunk = 256;
 
   /// One-node thread-local stash, the fast path of the block pool:
@@ -312,6 +371,8 @@ class LifecycleLedger {
   }
 
   bool enabled_ = false;
+  Histogram* queue_delay_ = nullptr;  // non-owning, outlives the storage
+  int delay_sample_ = 1;
   std::uint64_t id_ = next_ledger_id();
   Spinlock pool_lock_;
   std::atomic<Node*> hot_{nullptr};
@@ -352,6 +413,7 @@ class LifecycleOps {
   bool cancel(PlaceT& p, TaskHandle h) {
     if (!ledger_.cancel(h)) return false;
     p.counters->inc(Counter::tasks_cancelled);
+    detail::trace_ev(p, TraceEv::cancel, kCancelPlain);
     return true;
   }
 
@@ -367,6 +429,7 @@ class LifecycleOps {
     if (!task.has_value()) return out;
     out.detached = true;
     p.counters->inc(Counter::tasks_cancelled);
+    detail::trace_ev(p, TraceEv::cancel, kCancelRekey);
     task->priority = priority;
     auto* self = static_cast<Derived*>(this);
     out.requeue =

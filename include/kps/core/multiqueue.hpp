@@ -37,6 +37,7 @@ class MultiQueuePool
   struct alignas(kCacheLine) Place {
     std::size_t index = 0;
     PlaceCounters* counters = nullptr;
+    Tracer* trace = nullptr;
     Xoshiro256 rng;
   };
 
@@ -49,7 +50,8 @@ class MultiQueuePool
         2, places_.size() * std::max<std::size_t>(cfg.multiqueue_factor, 1));
     queues_ = std::vector<Queue>(q);
     gate_.init(cfg_);
-    this->ledger_.init(cfg_.enable_lifecycle);
+    this->ledger_.init(cfg_.enable_lifecycle, cfg_.queue_delay,
+                       cfg_.delay_sample);
   }
 
   std::size_t places() const { return places_.size(); }
@@ -63,18 +65,17 @@ class MultiQueuePool
     PushOutcome<TaskT> out;
     if (gate_.at_capacity()) {
       if (gate_.policy() == OverflowPolicy::reject) {
-        return detail::reject_incoming<TaskT>(p.counters);
+        return detail::reject_incoming<TaskT>(p);
       }
       Queue& q = queues_[p.rng.next_bounded(queues_.size())];
       q.lock.lock();
-      if (detail::displace_worst(q.heap, task, this->ledger_,
-                                 p.counters, &out)) {
+      if (detail::displace_worst(q.heap, task, this->ledger_, p, &out)) {
         q.publish_top();
         q.lock.unlock();
         return out;
       }
       q.lock.unlock();
-      return detail::shed_incoming(std::move(task), p.counters);
+      return detail::shed_incoming(p, std::move(task));
     }
 
     // Bounded retry (the PR-6 livelock fix): the old `while (true)
@@ -95,6 +96,7 @@ class MultiQueuePool
       q.lock.unlock();
       gate_.add(1);
       p.counters->inc(Counter::tasks_spawned);
+      detail::trace_ev(p, TraceEv::push);
       return out;
     }
     Queue& q = queues_[p.rng.next_bounded(queues_.size())];
@@ -104,12 +106,14 @@ class MultiQueuePool
     q.lock.unlock();
     gate_.add(1);
     p.counters->inc(Counter::tasks_spawned);
+    detail::trace_ev(p, TraceEv::push);
     return out;
   }
 
   std::optional<TaskT> pop(Place& p) {
     // Random two-choices probes; fall back to a full sweep before giving
     // up so pop only fails when the pool really looked empty.
+    bool saw_tasks = false;
     for (int attempt = 0; attempt < 4; ++attempt) {
       // Injected failure = this probe pair lost its race; next attempt.
       if (KPS_FAILPOINT_FAIL("mq.pop.probe")) continue;
@@ -119,21 +123,29 @@ class MultiQueuePool
       const double ta = queues_[a].top_cache.load(std::memory_order_acquire);
       const double tb = queues_[b].top_cache.load(std::memory_order_acquire);
       if (ta == kEmptyTop && tb == kEmptyTop) continue;
+      saw_tasks = true;
       Queue& q = queues_[ta <= tb ? a : b];
       if (auto out = try_pop_queue(q, p)) {
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
+        detail::trace_ev(p, TraceEv::pop);
         return out;
       }
     }
     for (Queue& q : queues_) {
+      if (q.top_cache.load(std::memory_order_acquire) != kEmptyTop) {
+        saw_tasks = true;
+      }
       if (auto out = try_pop_queue(q, p)) {
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
+        detail::trace_ev(p, TraceEv::pop);
         return out;
       }
     }
-    p.counters->inc(Counter::pop_failures);
+    // "Contended" = some queue advertised tasks but every claim attempt
+    // lost (try_lock races, tombstone-only drains); "empty" otherwise.
+    p.counters->inc(saw_tasks ? Counter::pop_contended : Counter::pop_empty);
     return std::nullopt;
   }
 
@@ -163,7 +175,7 @@ class MultiQueuePool
     std::optional<TaskT> out;
     while (!q.heap.empty()) {
       Entry e = q.heap.pop();
-      if (this->ledger_.claim(e)) {
+      if (this->ledger_.claim_popped(e, p.index)) {
         out = std::move(e.task);
         break;
       }

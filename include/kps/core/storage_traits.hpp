@@ -33,8 +33,10 @@
 #include <utility>
 
 #include "core/lifecycle.hpp"
+#include "support/histogram.hpp"
 #include "support/rng.hpp"
 #include "support/stats.hpp"
+#include "support/trace.hpp"
 
 namespace kps {
 
@@ -109,6 +111,33 @@ struct StorageConfig {
   // (bench_baseline's tombstone_overhead row holds this under 5%).
   bool enable_lifecycle = false;
 
+  // Telemetry (PR 8).  All three observers are optional, NON-OWNING and
+  // must outlive the storage.  Null (the default) keeps every hot path
+  // at one predictable branch per emit site.
+  //
+  // trace: bounded per-place SPSC event rings; the tracer must cover at
+  // least as many places as the storage (fail-fast in init_places).
+  Tracer* trace = nullptr;
+  // queue_delay: per-task enqueue→pop latency histogram, stamped into
+  // the lifecycle control block at wrap() and recorded at pop-claim time
+  // — requires enable_lifecycle (validated below), since the stamp
+  // travels in the LifecycleNode.
+  Histogram* queue_delay = nullptr;
+  // delay_sample: 1-in-N sampling period for the queue_delay stamps.
+  // The stamp is two steady_clock reads per task (~70 ns on this class
+  // of machine) — exhaustive stamping (1) is exact but costs ~25% on a
+  // bare push/pop hot path, so the default samples 1-in-8 (tail
+  // quantiles converge just as well; bench_baseline's observability
+  // block prices the default).  Ignored unless queue_delay is set.
+  int delay_sample = 8;
+  // rank_error + rank_probe (ablation A1 as a live distribution): every
+  // rank_probe-th successful pop per place measures its window-visible
+  // rank error (occupied slots strictly better than the claimed task)
+  // into rank_error.  0 = off.  Implemented by the centralized storage;
+  // others ignore the probe (their rank story is the A1 oracle's).
+  Histogram* rank_error = nullptr;
+  int rank_probe = 0;
+
   /// Fail-fast validation, run by every storage constructor (and by the
   /// registry before it even picks a storage): returns an empty string
   /// for a usable config, else a diagnostic naming the bad field.  The
@@ -138,6 +167,22 @@ struct StorageConfig {
     }
     if (multiqueue_factor == 0) {
       return "multiqueue_factor must be >= 1";
+    }
+    if (rank_probe < 0) {
+      return "rank_probe must be >= 0 (0 disables), got " +
+             std::to_string(rank_probe);
+    }
+    if (rank_probe > 0 && rank_error == nullptr) {
+      return "rank_probe is set but rank_error has no histogram to "
+             "record into";
+    }
+    if (queue_delay != nullptr && !enable_lifecycle) {
+      return "queue_delay needs enable_lifecycle (the spawn timestamp "
+             "travels in the lifecycle control block)";
+    }
+    if (queue_delay != nullptr && delay_sample < 1) {
+      return "delay_sample must be >= 1 (1 = stamp every task), got " +
+             std::to_string(delay_sample);
     }
     return {};
   }
@@ -216,11 +261,22 @@ template <typename PlaceVec>
 void init_places(PlaceVec& places, const StorageConfig& cfg,
                  StatsRegistry* stats) {
   require_valid(cfg);
+  // An undersized tracer would make place i emit on a ring it doesn't
+  // own (or out of bounds) — reject at construction, not at emit time.
+  if (cfg.trace != nullptr && cfg.trace->places() < places.size()) {
+    throw std::invalid_argument(
+        "StorageConfig: tracer covers " +
+        std::to_string(cfg.trace->places()) + " places, storage has " +
+        std::to_string(places.size()));
+  }
   for (std::size_t i = 0; i < places.size(); ++i) {
     places[i].index = i;
     places[i].counters = &stats->place(i);
     if constexpr (requires { places[i].rng; }) {
       places[i].rng = Xoshiro256(cfg.seed * 0x9e37 + i + 1);
+    }
+    if constexpr (requires { places[i].trace; }) {
+      places[i].trace = cfg.trace;
     }
   }
 }
@@ -231,9 +287,10 @@ void init_places(PlaceVec& places, const StorageConfig& cfg,
 /// did, so the conservation ledger is unchanged.
 
 /// Reject policy: refuse the incoming task.
-template <typename TaskT>
-PushOutcome<TaskT> reject_incoming(PlaceCounters* counters) {
-  counters->inc(Counter::push_rejected);
+template <typename TaskT, typename PlaceT>
+PushOutcome<TaskT> reject_incoming(PlaceT& p) {
+  p.counters->inc(Counter::push_rejected);
+  trace_ev(p, TraceEv::shed, kShedRejected);
   PushOutcome<TaskT> out;
   out.accepted = false;
   return out;
@@ -242,10 +299,11 @@ PushOutcome<TaskT> reject_incoming(PlaceCounters* counters) {
 /// Shed-lowest when the incoming task loses (or the shed tier cannot
 /// rank it): the incoming task is counted as spawned-then-shed so the
 /// ledger still balances.
-template <typename TaskT>
-PushOutcome<TaskT> shed_incoming(TaskT task, PlaceCounters* counters) {
-  counters->inc(Counter::tasks_spawned);
-  counters->inc(Counter::tasks_shed);
+template <typename PlaceT, typename TaskT>
+PushOutcome<TaskT> shed_incoming(PlaceT& p, TaskT task) {
+  p.counters->inc(Counter::tasks_spawned);
+  p.counters->inc(Counter::tasks_shed);
+  trace_ev(p, TraceEv::shed, kShedIncoming);
   PushOutcome<TaskT> out;
   out.accepted = false;
   out.shed = std::move(task);
@@ -270,21 +328,23 @@ PushOutcome<TaskT> shed_incoming(TaskT task, PlaceCounters* counters) {
 ///
 /// `task` is taken by reference and consumed ONLY on a true return —
 /// a false return leaves it untouched for the caller's shed_incoming.
-template <typename Heap, typename TaskT>
+template <typename Heap, typename TaskT, typename PlaceT>
 bool displace_worst(Heap& heap, TaskT& task,
                     detail::LifecycleLedger<TaskT>& ledger,
-                    PlaceCounters* counters, PushOutcome<TaskT>* out) {
+                    PlaceT& p, PushOutcome<TaskT>* out) {
   if (heap.empty()) return false;
   const std::size_t worst = heap.worst_index();
   if (!(task.priority < heap.at(worst).task.priority)) return false;
   LcEntry<TaskT> evicted = heap.extract_at(worst);
   heap.push(ledger.wrap(std::move(task), &out->handle));
-  counters->inc(Counter::tasks_spawned);
+  p.counters->inc(Counter::tasks_spawned);
+  trace_ev(p, TraceEv::push);
   if (ledger.claim(evicted)) {
-    counters->inc(Counter::tasks_shed);
+    p.counters->inc(Counter::tasks_shed);
+    trace_ev(p, TraceEv::shed, kShedDisplaced);
     out->shed = std::move(evicted.task);
   } else {
-    counters->inc(Counter::tombstones_reaped);
+    p.counters->inc(Counter::tombstones_reaped);
   }
   return true;
 }

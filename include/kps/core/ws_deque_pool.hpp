@@ -38,6 +38,7 @@ class WsDequePool
   struct alignas(kCacheLine) Place {
     std::size_t index = 0;
     PlaceCounters* counters = nullptr;
+    Tracer* trace = nullptr;
     Xoshiro256 rng;
     Spinlock lock;
     std::deque<Entry> deque;  // owner: back; thieves: front
@@ -50,7 +51,8 @@ class WsDequePool
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
     gate_.init(cfg_);
-    this->ledger_.init(cfg_.enable_lifecycle);
+    this->ledger_.init(cfg_.enable_lifecycle, cfg_.queue_delay,
+                       cfg_.delay_sample);
   }
 
   std::size_t places() const { return places_.size(); }
@@ -72,27 +74,30 @@ class WsDequePool
     PushOutcome<TaskT> out;
     if (gate_.at_capacity()) {
       if (gate_.policy() == OverflowPolicy::reject) {
-        return detail::reject_incoming<TaskT>(p.counters);
+        return detail::reject_incoming<TaskT>(p);
       }
-      return detail::shed_incoming(std::move(task), p.counters);
+      return detail::shed_incoming(p, std::move(task));
     }
     p.lock.lock();
     p.deque.push_back(this->ledger_.wrap(std::move(task), &out.handle));
     p.lock.unlock();
     gate_.add(1);
     p.counters->inc(Counter::tasks_spawned);
+    detail::trace_ev(p, TraceEv::push);
     return out;
   }
 
   std::optional<TaskT> pop(Place& p) {
+    bool saw_tasks = false;
     p.lock.lock();
     while (!p.deque.empty()) {
       Entry e = std::move(p.deque.back());
       p.deque.pop_back();
-      if (this->ledger_.claim(e)) {
+      if (this->ledger_.claim_popped(e, p.index)) {
         p.lock.unlock();
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
+        detail::trace_ev(p, TraceEv::pop);
         return std::move(e.task);
       }
       p.counters->inc(Counter::tombstones_reaped);
@@ -107,29 +112,34 @@ class WsDequePool
         Place& victim = places_[(start + i) % n];
         if (victim.index == p.index) continue;
         p.counters->inc(Counter::steal_attempts);
-        if (auto out = steal_from(p, victim)) {
+        if (auto out = steal_from(p, victim, saw_tasks)) {
           gate_.add(-1);
           p.counters->inc(Counter::tasks_executed);
+          detail::trace_ev(p, TraceEv::pop);
           return out;
         }
       }
     }
-    p.counters->inc(Counter::pop_failures);
+    // "Contended" = a victim deque held entries we failed to claim;
+    // "empty" = every deque we could inspect was drained.
+    p.counters->inc(saw_tasks ? Counter::pop_contended : Counter::pop_empty);
     return std::nullopt;
   }
 
  private:
-  std::optional<TaskT> steal_from(Place& p, Place& victim) {
+  std::optional<TaskT> steal_from(Place& p, Place& victim,
+                                  bool& saw_tasks) {
     // Injected failure = victim looked locked; move on to the next one.
     if (KPS_FAILPOINT_FAIL("wsdeque.steal")) return std::nullopt;
     if (!victim.lock.try_lock()) return std::nullopt;
     // The loot we execute must be live: reap tombstones off the steal end
     // until the first live task surfaces.
+    if (!victim.deque.empty()) saw_tasks = true;
     std::optional<TaskT> out;
     while (!victim.deque.empty()) {
       Entry e = std::move(victim.deque.front());
       victim.deque.pop_front();
-      if (this->ledger_.claim(e)) {
+      if (this->ledger_.claim_popped(e, p.index)) {
         out = std::move(e.task);
         break;
       }
@@ -161,6 +171,9 @@ class WsDequePool
       victim.lock.unlock();
     }
     p.counters->inc(Counter::stolen_items, stolen);
+    // Thief records on its OWN ring (SPSC); victim id rides in arg.
+    detail::trace_ev(p, TraceEv::steal,
+                     static_cast<std::uint32_t>(victim.index));
     return out;
   }
 

@@ -40,6 +40,7 @@ class WsPriorityPool
   struct alignas(kCacheLine) Place {
     std::size_t index = 0;
     PlaceCounters* counters = nullptr;
+    Tracer* trace = nullptr;
     Xoshiro256 rng;
     Spinlock lock;
     DaryHeap<Entry, detail::LcEntryLess, 4> heap;
@@ -52,7 +53,8 @@ class WsPriorityPool
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
     gate_.init(cfg_);
-    this->ledger_.init(cfg_.enable_lifecycle);
+    this->ledger_.init(cfg_.enable_lifecycle, cfg_.queue_delay,
+                       cfg_.delay_sample);
   }
 
   std::size_t places() const { return places_.size(); }
@@ -66,33 +68,35 @@ class WsPriorityPool
     PushOutcome<TaskT> out;
     if (gate_.at_capacity()) {
       if (gate_.policy() == OverflowPolicy::reject) {
-        return detail::reject_incoming<TaskT>(p.counters);
+        return detail::reject_incoming<TaskT>(p);
       }
       p.lock.lock();
-      if (detail::displace_worst(p.heap, task, this->ledger_,
-                                 p.counters, &out)) {
+      if (detail::displace_worst(p.heap, task, this->ledger_, p, &out)) {
         p.lock.unlock();
         return out;
       }
       p.lock.unlock();
-      return detail::shed_incoming(std::move(task), p.counters);
+      return detail::shed_incoming(p, std::move(task));
     }
     p.lock.lock();
     p.heap.push(this->ledger_.wrap(std::move(task), &out.handle));
     p.lock.unlock();
     gate_.add(1);
     p.counters->inc(Counter::tasks_spawned);
+    detail::trace_ev(p, TraceEv::push);
     return out;
   }
 
   std::optional<TaskT> pop(Place& p) {
+    bool saw_tasks = false;
     p.lock.lock();
     while (!p.heap.empty()) {
       Entry e = p.heap.pop();
-      if (this->ledger_.claim(e)) {
+      if (this->ledger_.claim_popped(e, p.index)) {
         p.lock.unlock();
         gate_.add(-1);
         p.counters->inc(Counter::tasks_executed);
+        detail::trace_ev(p, TraceEv::pop);
         return std::move(e.task);
       }
       p.counters->inc(Counter::tombstones_reaped);
@@ -108,19 +112,23 @@ class WsPriorityPool
         Place& victim = places_[(start + i) % n];
         if (victim.index == p.index) continue;
         p.counters->inc(Counter::steal_attempts);
-        if (auto out = steal_from(p, victim)) {
+        if (auto out = steal_from(p, victim, saw_tasks)) {
           gate_.add(-1);
           p.counters->inc(Counter::tasks_executed);
+          detail::trace_ev(p, TraceEv::pop);
           return out;
         }
       }
     }
-    p.counters->inc(Counter::pop_failures);
+    // "Contended" = a victim held tasks we failed to claim; "empty" =
+    // every heap we could inspect was drained.
+    p.counters->inc(saw_tasks ? Counter::pop_contended : Counter::pop_empty);
     return std::nullopt;
   }
 
  private:
-  std::optional<TaskT> steal_from(Place& p, Place& victim) {
+  std::optional<TaskT> steal_from(Place& p, Place& victim,
+                                  bool& saw_tasks) {
     // Injected failure = victim looked locked; the caller's steal round
     // simply moves on to the next victim.
     if (KPS_FAILPOINT_FAIL("wsprio.steal")) return std::nullopt;
@@ -129,17 +137,21 @@ class WsPriorityPool
       victim.lock.unlock();
       return std::nullopt;
     }
+    saw_tasks = true;
     if (cfg_.steal_half && victim.heap.size() > 1) {
       p.loot.clear();
       victim.heap.extract_half(p.loot);
       victim.lock.unlock();
       p.counters->inc(Counter::stolen_items, p.loot.size());
+      // Thief records on its OWN ring (SPSC); victim id rides in arg.
+      detail::trace_ev(p, TraceEv::steal,
+                       static_cast<std::uint32_t>(victim.index));
       p.lock.lock();
       for (Entry& e : p.loot) p.heap.push(e);
       std::optional<TaskT> out;
       while (!p.heap.empty()) {
         Entry e = p.heap.pop();
-        if (this->ledger_.claim(e)) {
+        if (this->ledger_.claim_popped(e, p.index)) {
           out = std::move(e.task);
           break;
         }
@@ -154,7 +166,7 @@ class WsPriorityPool
     std::optional<TaskT> out;
     while (!victim.heap.empty()) {
       Entry e = victim.heap.pop();
-      if (this->ledger_.claim(e)) {
+      if (this->ledger_.claim_popped(e, p.index)) {
         out = std::move(e.task);
         break;
       }
@@ -162,7 +174,11 @@ class WsPriorityPool
       gate_.add(-1);
     }
     victim.lock.unlock();
-    if (out) p.counters->inc(Counter::stolen_items);
+    if (out) {
+      p.counters->inc(Counter::stolen_items);
+      detail::trace_ev(p, TraceEv::steal,
+                       static_cast<std::uint32_t>(victim.index));
+    }
     return out;
   }
 

@@ -34,6 +34,8 @@ struct SsspResult {
   PlaceStats totals;                // summed per-place storage counters
   std::vector<double> dist;
   std::uint64_t grain_sink = 0;     // keeps the A9 spin work observable
+  HistogramSnapshot pop_latency;    // PR 8: empty unless obs attached
+  HistogramSnapshot queue_delay;
 };
 
 namespace detail {
@@ -58,7 +60,8 @@ inline std::uint64_t spin_work(std::uint64_t seed, std::uint32_t grain) {
 template <typename Storage, typename KPolicy>
 SsspResult parallel_sssp(const Graph& g, Graph::node_t src, Storage& storage,
                          KPolicy k_policy, StatsRegistry* stats,
-                         std::uint32_t grain = 0) {
+                         std::uint32_t grain = 0,
+                         RunnerObs* obs = nullptr) {
   const std::size_t n = g.num_nodes();
   const std::size_t P = storage.places();
 
@@ -100,7 +103,8 @@ SsspResult parallel_sssp(const Graph& g, Graph::node_t src, Storage& storage,
   };
 
   const RunnerResult r =
-      run_relaxed(storage, k_policy, {SsspTask{0.0, src}}, expand, stats);
+      run_relaxed(storage, k_policy, {SsspTask{0.0, src}}, expand, stats,
+                  NoPopHook{}, nullptr, obs);
 
   result.seconds = r.seconds;
   result.nodes_relaxed = r.expanded;
@@ -109,6 +113,8 @@ SsspResult parallel_sssp(const Graph& g, Graph::node_t src, Storage& storage,
   result.tasks_spawned = r.tasks_spawned;
   result.k_raised = r.k_raised;
   result.k_lowered = r.k_lowered;
+  result.pop_latency = r.pop_latency;
+  result.queue_delay = r.queue_delay;
   for (const Sink& s : sinks) result.grain_sink += s.v;
   result.dist.resize(n);
   for (std::size_t i = 0; i < n; ++i) {

@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -50,6 +51,28 @@ enum class Counter : std::size_t {
 inline constexpr std::size_t kNumCounters =
     static_cast<std::size_t>(Counter::kCount);
 
+/// Counter glossary: one name per enum entry, in enum order (the metrics
+/// exporter and DESIGN.md's table are keyed by these strings).  A
+/// static_assert below pins the array to the enum so adding a counter
+/// without naming it fails the build.
+inline constexpr const char* kCounterNames[kNumCounters] = {
+    "tasks_spawned",     "tasks_executed",   "pop_failures",
+    "pop_empty",         "pop_contended",    "publishes",
+    "published_items",   "spied_items",      "steal_attempts",
+    "stolen_items",      "push_cas_failures", "pop_cas_failures",
+    "slot_loads",        "summary_loads",    "tree_descents",
+    "min_heals",         "overflow_stale",   "segment_merges",
+    "segment_spills",    "push_rejected",    "tasks_shed",
+    "tasks_cancelled",   "tombstones_reaped", "timers_fired",
+};
+static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
+                  kNumCounters,
+              "every Counter entry needs a glossary name");
+
+inline const char* counter_name(Counter c) {
+  return kCounterNames[static_cast<std::size_t>(c)];
+}
+
 // Fixed 64 rather than std::hardware_destructive_interference_size: the
 // value must not drift with -mtune (gcc warns it can), and every target we
 // build for has 64-byte destructive interference.
@@ -78,11 +101,26 @@ struct alignas(kCacheLine) PlaceCounters {
     c[static_cast<std::size_t>(n)].fetch_add(by, std::memory_order_relaxed);
   }
 
+  /// Tear-free per counter: each cell is loaded exactly ONCE (relaxed —
+  /// a 64-bit aligned atomic load can't tear, and sampling threads want
+  /// no ordering, only values; cross-counter consistency exists only at
+  /// quiescence).  pop_failures is DERIVED here rather than stored: the
+  /// storages bump only pop_empty / pop_contended, so the ledger
+  /// pop_failures == pop_empty + pop_contended holds by construction
+  /// even for a snapshot racing a failed pop — a stored total could be
+  /// read between its two increments and break the split.
   PlaceStats snapshot() const {
     PlaceStats out;
     for (std::size_t i = 0; i < kNumCounters; ++i) {
       out.v[i] = c[i].load(std::memory_order_relaxed);
     }
+    // A future counter path writing the raw total would silently desync
+    // the split; tests build with -UNDEBUG, so this trips there.
+    assert(out.get(Counter::pop_failures) == 0 &&
+           "pop_failures is derived; storages must bump pop_empty / "
+           "pop_contended only");
+    out[Counter::pop_failures] =
+        out.get(Counter::pop_empty) + out.get(Counter::pop_contended);
     return out;
   }
 };

@@ -69,6 +69,15 @@ class Watchdog {
 
   const WatchdogReport& report() const { return report_; }
 
+  /// Optional stall sink (PR 8 telemetry): invoked from the watchdog
+  /// thread for every (place, round) a stall is flagged, with the current
+  /// streak length.  Set before start(); typically wired to
+  /// Telemetry::note_stall so the flag becomes a trace event and a
+  /// snapshot field instead of only a terminal tally.
+  void on_stall(std::function<void(std::size_t, std::uint64_t)> sink) {
+    on_stall_ = std::move(sink);
+  }
+
  private:
   void run() {
     std::vector<std::uint64_t> last = progress_();
@@ -99,6 +108,7 @@ class Watchdog {
           if (streak[p] > report_.max_stall_streak) {
             report_.max_stall_streak = streak[p];
           }
+          if (on_stall_) on_stall_(p, streak[p]);
         }
       }
       last = std::move(now);
@@ -107,6 +117,7 @@ class Watchdog {
 
   std::function<std::vector<std::uint64_t>()> progress_;
   std::function<bool()> busy_;
+  std::function<void(std::size_t, std::uint64_t)> on_stall_;
   std::chrono::milliseconds period_;
   std::uint64_t threshold_;
   std::atomic<bool> stop_{false};

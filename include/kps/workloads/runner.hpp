@@ -43,6 +43,7 @@
 #include "support/backoff.hpp"
 #include "support/failpoint.hpp"
 #include "support/stats.hpp"
+#include "support/telemetry.hpp"
 #include "support/timer_wheel.hpp"
 
 namespace kps {
@@ -78,6 +79,29 @@ struct RunnerResult {
   std::vector<std::uint64_t> expanded_by_place;
   std::vector<std::uint64_t> wasted_by_place;
   std::vector<PolicyReport> policy_by_place;  // final window + move counts
+  // PR 8 observability: merged end-of-run distributions, empty (count 0)
+  // unless the matching RunnerObs histogram was attached.
+  HistogramSnapshot pop_latency;   // ns per successful storage.pop()
+  HistogramSnapshot queue_delay;   // ns from spawn stamp to claimed pop
+};
+
+/// Observability hooks for run_relaxed (PR 8) — all optional, all
+/// non-owning; null members cost one branch each on the paths they guard.
+///
+///   pop_latency — per-place histogram of successful pop() wall latency
+///                 (two steady_clock reads per successful pop when set).
+///   queue_delay — the histogram StorageConfig::queue_delay points at
+///                 (recorded inside the ledger claim; the runner only
+///                 snapshots it into RunnerResult at the end).
+///   tracer      — the Tracer the storage places emit into; the runner
+///                 adds timer_fire events (arg = actions delivered).
+///   telemetry   — sampling exporter; the runner publishes each place's
+///                 current AdaptiveK window into its snapshot signals.
+struct RunnerObs {
+  Histogram* pop_latency = nullptr;
+  Histogram* queue_delay = nullptr;
+  Tracer* tracer = nullptr;
+  Telemetry* telemetry = nullptr;
 };
 
 /// Per-worker view handed to expand(): the only way a workload spawns
@@ -199,7 +223,8 @@ RunnerResult run_relaxed(Storage& storage, const Policy& policy,
                          const std::vector<typename Storage::task_type>& seeds,
                          ExpandFn&& expand, StatsRegistry* stats = nullptr,
                          PopHook&& pop_hook = {},
-                         RunnerTimerWheel<Storage>* wheel = nullptr) {
+                         RunnerTimerWheel<Storage>* wheel = nullptr,
+                         RunnerObs* obs = nullptr) {
   const std::size_t P = storage.places();
 
   RunnerResult result;
@@ -276,12 +301,31 @@ RunnerResult run_relaxed(Storage& storage, const Policy& policy,
     // yield-every-64 counter): idle places back off harder the longer the
     // drought, instead of hammering pop() on shared state.
     Backoff idle;
+    Histogram* const pop_hist = obs ? obs->pop_latency : nullptr;
+    Telemetry* const tele = obs ? obs->telemetry : nullptr;
+    if (tele) tele->publish_window(place_idx, local.current_k);
 
     while (true) {
       std::optional<typename Storage::task_type> task;
       // Injected failure = the pop attempt itself was lost (a scheduler
       // preemption at the worst moment); the loop must still terminate.
-      if (!KPS_FAILPOINT_FAIL("runner.pop")) task = storage.pop(place);
+      if (!KPS_FAILPOINT_FAIL("runner.pop")) {
+        if (pop_hist) {
+          const auto pt0 = std::chrono::steady_clock::now();
+          task = storage.pop(place);
+          if (task) {
+            const auto pt1 = std::chrono::steady_clock::now();
+            pop_hist->record(
+                place_idx,
+                static_cast<std::uint64_t>(
+                    std::chrono::duration_cast<std::chrono::nanoseconds>(
+                        pt1 - pt0)
+                        .count()));
+          }
+        } else {
+          task = storage.pop(place);
+        }
+      }
       if (!task) {
         if (pending.load(std::memory_order_acquire) == 0) break;
         idle.spin();
@@ -293,8 +337,14 @@ RunnerResult run_relaxed(Storage& storage, const Policy& policy,
         const std::uint64_t now =
             ticks.fetch_add(1, std::memory_order_relaxed) + 1;
         const std::size_t fired = wheel->advance(now, fire);
-        if (fired && stats) {
-          stats->place(place_idx).inc(Counter::timers_fired, fired);
+        if (fired) {
+          if (stats) {
+            stats->place(place_idx).inc(Counter::timers_fired, fired);
+          }
+          if (obs && obs->tracer) {
+            obs->tracer->emit(place_idx, TraceEv::timer_fire,
+                              static_cast<std::uint32_t>(fired));
+          }
         }
       }
 
@@ -309,6 +359,7 @@ RunnerResult run_relaxed(Storage& storage, const Policy& policy,
       // the next pop (and everything it spawns) sees the new k.
       policy.record(local.pstate, useful);
       local.current_k = policy.window(local.pstate);
+      if (tele) tele->publish_window(place_idx, local.current_k);
       // Children are spawned; only now may this task stop holding the
       // counter above zero.
       pending.fetch_sub(1, std::memory_order_acq_rel);
@@ -338,6 +389,10 @@ RunnerResult run_relaxed(Storage& storage, const Policy& policy,
   }
   result.totals = stats ? stats->total() : PlaceStats{};
   result.tasks_spawned = result.totals.get(Counter::tasks_spawned);
+  if (obs) {
+    if (obs->pop_latency) result.pop_latency = obs->pop_latency->snapshot();
+    if (obs->queue_delay) result.queue_delay = obs->queue_delay->snapshot();
+  }
   return result;
 }
 
@@ -347,10 +402,11 @@ RunnerResult run_relaxed(Storage& storage, int k,
                          const std::vector<typename Storage::task_type>& seeds,
                          ExpandFn&& expand, StatsRegistry* stats = nullptr,
                          PopHook&& pop_hook = {},
-                         RunnerTimerWheel<Storage>* wheel = nullptr) {
+                         RunnerTimerWheel<Storage>* wheel = nullptr,
+                         RunnerObs* obs = nullptr) {
   return run_relaxed(storage, FixedK(k), seeds,
                      std::forward<ExpandFn>(expand), stats,
-                     std::forward<PopHook>(pop_hook), wheel);
+                     std::forward<PopHook>(pop_hook), wheel, obs);
 }
 
 }  // namespace kps

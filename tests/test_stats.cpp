@@ -1,6 +1,7 @@
 // Tier-1: StatsRegistry aggregation semantics and cache-line padding.
 #include <cassert>
 #include <cstdio>
+#include <string_view>
 #include <thread>
 #include <vector>
 
@@ -38,6 +39,27 @@ int main() {
   PlaceStats sum;
   for (std::size_t p = 0; p < 4; ++p) sum += stats.snapshot(p);
   for (std::size_t i = 0; i < kNumCounters; ++i) assert(sum.v[i] == total.v[i]);
+
+  // PR 8 tear-free snapshot contract: pop_failures is DERIVED (storages
+  // bump only pop_empty / pop_contended), so the snapshot total always
+  // equals the split's sum and the counter-name glossary covers the enum.
+  {
+    StatsRegistry s(2);
+    s.place(0).inc(Counter::pop_empty, 7);
+    s.place(0).inc(Counter::pop_contended, 5);
+    s.place(1).inc(Counter::pop_empty, 3);
+    const PlaceStats t = s.total();
+    assert(t.get(Counter::pop_failures) == 15);
+    assert(t.get(Counter::pop_failures) ==
+           t.get(Counter::pop_empty) + t.get(Counter::pop_contended));
+    const PlaceStats p0 = s.snapshot(0);
+    assert(p0.get(Counter::pop_failures) == 12);
+    for (std::size_t i = 0; i < kNumCounters; ++i) {
+      assert(kCounterNames[i] != nullptr && kCounterNames[i][0] != '\0');
+    }
+    assert(std::string_view(counter_name(Counter::pop_failures)) ==
+           "pop_failures");
+  }
 
   RankStats ranks;
   ranks.add(0);
