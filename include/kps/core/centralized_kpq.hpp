@@ -77,6 +77,7 @@
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
+#include "support/thread_safety.hpp"
 
 // Test seam: invoked between pop's overflow_min_ snapshot and the lock
 // acquisition, so the regression test for the stale-snapshot race can
@@ -117,12 +118,17 @@ class CentralizedKpq
     gate_.init(cfg_);
     this->ledger_.init(cfg_.enable_lifecycle, cfg_.queue_delay,
                        cfg_.delay_sample);
+    // order: relaxed — constructor runs single-threaded; publication of
+    // the whole object happens-before any concurrent use.
     for (auto& s : window_) s.store(nullptr, std::memory_order_relaxed);
+    // order: relaxed — same single-threaded construction argument.
     for (auto& w : summary_) w.store(0, std::memory_order_relaxed);
     for (auto& p : places_) p.epoch = domain_.register_thread();
   }
 
   ~CentralizedKpq() {
+    // order: relaxed — destructor requires external quiescence (no
+    // concurrent pushers/poppers); nothing to synchronize with.
     for (auto& s : window_) delete s.load(std::memory_order_relaxed);
   }
 
@@ -172,8 +178,12 @@ class CentralizedKpq
       for (std::size_t i = 0; i < window; ++i) {
         const std::size_t idx = start + i < window ? start + i
                                                    : start + i - window;
+        // order: relaxed — free-slot probe; the claiming CAS below is the
+        // acquire/release point, a stale read only wastes one probe.
         Entry* expected = window_[idx].load(std::memory_order_relaxed);
         if (expected != nullptr) continue;
+        // order: relaxed (failure) — a lost slot race carries no data;
+        // the success leg is release to publish the node's payload.
         if (!KPS_FAILPOINT_FAIL("central.push.slot_cas") &&
             window_[idx].compare_exchange_strong(expected, node,
                                                  std::memory_order_release,
@@ -281,6 +291,8 @@ class CentralizedKpq
       }
 
       Entry* expected = best;
+      // order: relaxed (failure) — a lost claim race reads nothing from
+      // the slot; success is acq_rel (acquire the node, release the hole).
       if (!KPS_FAILPOINT_FAIL("central.pop.claim_cas") &&
           window_[best_idx].compare_exchange_strong(
               expected, nullptr, std::memory_order_acq_rel,
@@ -350,14 +362,19 @@ class CentralizedKpq
       const std::uint64_t valid =
           window - base >= 64 ? ~std::uint64_t{0}
                               : (std::uint64_t{1} << (window - base)) - 1;
+      // order: relaxed — the bitmap is a hint; a stale word only costs a
+      // wasted probe or a false overflow, and the slot CAS re-validates.
       std::uint64_t free_bits =
           ~summary_[w].load(std::memory_order_relaxed) & valid;
       while (free_bits) {
         const std::size_t idx =
             base + static_cast<std::size_t>(std::countr_zero(free_bits));
         free_bits &= free_bits - 1;
+        // order: relaxed — free-slot probe; the CAS is the real gate.
         Entry* expected = window_[idx].load(std::memory_order_relaxed);
         if (expected != nullptr) continue;
+        // order: relaxed (failure) — lost slot race carries no data;
+        // success is release to publish the node's payload.
         if (!KPS_FAILPOINT_FAIL("central.push.slot_cas") &&
             window_[idx].compare_exchange_strong(expected, node,
                                                  std::memory_order_release,
@@ -522,7 +539,7 @@ class CentralizedKpq
     return requested < window_.size() ? requested : window_.size();
   }
 
-  void publish_overflow_min() {
+  void publish_overflow_min() KPS_REQUIRES(overflow_lock_) {
     overflow_min_.store(overflow_.empty()
                             ? kEmpty
                             : static_cast<double>(
@@ -537,7 +554,8 @@ class CentralizedKpq
   bool hier_;           // hierarchical_min requires the occupancy summary
   MinIndex min_index_;  // one cached min per summary word + d-ary tree
   Spinlock overflow_lock_;
-  DaryHeap<Entry, detail::LcEntryLess, 4> overflow_;
+  DaryHeap<Entry, detail::LcEntryLess, 4> overflow_
+      KPS_GUARDED_BY(overflow_lock_);
   std::atomic<double> overflow_min_{kEmpty};
   detail::CapacityGate gate_;
   std::vector<Place> places_;

@@ -7,7 +7,6 @@
 
 #include <cstddef>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
@@ -17,7 +16,9 @@
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
 #include "support/failpoint.hpp"
+#include "support/mutex.hpp"
 #include "support/stats.hpp"
+#include "support/thread_safety.hpp"
 
 namespace kps {
 
@@ -55,7 +56,7 @@ class GlobalLockedPq
     KPS_FAILPOINT("global.push.lock");
     PushOutcome<TaskT> out;
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexGuard lk(mutex_);
       if (gate_.at_capacity()) {
         if (gate_.policy() == OverflowPolicy::reject) {
           return detail::reject_incoming<TaskT>(p);
@@ -77,7 +78,7 @@ class GlobalLockedPq
     KPS_FAILPOINT("global.pop.lock");
     std::optional<TaskT> out;
     {
-      std::lock_guard<std::mutex> lk(mutex_);
+      MutexGuard lk(mutex_);
       while (!heap_.empty()) {
         Entry e = heap_.pop();
         gate_.add(-1);
@@ -101,8 +102,8 @@ class GlobalLockedPq
 
  private:
   StorageConfig cfg_;
-  std::mutex mutex_;
-  DaryHeap<Entry, detail::LcEntryLess, 4> heap_;
+  Mutex mutex_;
+  DaryHeap<Entry, detail::LcEntryLess, 4> heap_ KPS_GUARDED_BY(mutex_);
   detail::CapacityGate gate_;
   std::vector<Place> places_;
   std::unique_ptr<StatsRegistry> owned_stats_;

@@ -60,6 +60,7 @@
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
+#include "support/thread_safety.hpp"
 
 namespace kps {
 
@@ -101,25 +102,34 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     // Private tier.  The lock is the owner's own cache line; spies only
     // try_lock it when the published tier is drained.
     Spinlock private_lock;
-    DaryHeap<Entry, detail::LcEntryLess, 4> private_heap;
-    std::uint64_t pushes_since_publish = 0;  // touched only under the lock
+    DaryHeap<Entry, detail::LcEntryLess, 4> private_heap
+        KPS_GUARDED_BY(private_lock);
+    std::uint64_t pushes_since_publish KPS_GUARDED_BY(private_lock) = 0;
     std::atomic<double> private_min{kEmptyMin};
 
     // Published tier (this place's shard of the global list): a heap for
     // singleton publishes (k = 0 / publish_batch <= 1) plus the sorted
     // segment store, everything below guarded by pub_lock.
     Spinlock pub_lock;
-    DaryHeap<Entry, detail::LcEntryLess, 4> pub_heap;
-    std::vector<Segment> segments;            // slot-addressed
-    std::vector<std::uint32_t> segment_free;  // recycled slots
-    DaryHeap<SegHead, SegHeadLess, 4> seg_index;
-    std::vector<std::vector<Entry>> run_pool;  // recycled run capacity
+    DaryHeap<Entry, detail::LcEntryLess, 4> pub_heap KPS_GUARDED_BY(pub_lock);
+    // slot-addressed
+    std::vector<Segment> segments KPS_GUARDED_BY(pub_lock);
+    // recycled slots
+    std::vector<std::uint32_t> segment_free KPS_GUARDED_BY(pub_lock);
+    DaryHeap<SegHead, SegHeadLess, 4> seg_index KPS_GUARDED_BY(pub_lock);
+    // recycled run capacity
+    std::vector<std::vector<Entry>> run_pool KPS_GUARDED_BY(pub_lock);
     std::atomic<double> pub_min{kEmptyMin};
 
-    std::vector<Entry> flush_buf;    // reused publish buffer
-    std::vector<SegHead> spill_buf;  // reused segment-spill scratch
+    // Owner-only publish buffer: filled by the owner under private_lock,
+    // drained by the same thread under pub_lock.  No single capability
+    // covers it — the owner thread is the ownership argument, so it stays
+    // unguarded on purpose.
+    std::vector<Entry> flush_buf;
+    // Spill scratch: touched only inside maybe_spill_segments (pub_lock).
+    std::vector<SegHead> spill_buf KPS_GUARDED_BY(pub_lock);
 
-    void publish_private_min() {
+    void publish_private_min() KPS_REQUIRES(private_lock) {
       private_min.store(
           private_heap.empty()
               ? kEmptyMin
@@ -127,8 +137,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
           std::memory_order_release);
     }
     /// Best task anywhere in this shard (heap or a segment head).
-    /// Requires pub_lock.
-    double shard_min() const {
+    double shard_min() const KPS_REQUIRES(pub_lock) {
       double m = pub_heap.empty()
                      ? kEmptyMin
                      : static_cast<double>(pub_heap.top().task.priority);
@@ -137,7 +146,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
       }
       return m;
     }
-    void publish_pub_min() {
+    void publish_pub_min() KPS_REQUIRES(pub_lock) {
       pub_min.store(shard_min(), std::memory_order_release);
     }
   };
@@ -390,8 +399,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
   }
 
   /// Take a segment slot off the free list (or grow the slot array).
-  /// Requires shard.pub_lock.
-  std::uint32_t acquire_segment(Place& shard) {
+  std::uint32_t acquire_segment(Place& shard) KPS_REQUIRES(shard.pub_lock) {
     if (!shard.segment_free.empty()) {
       const std::uint32_t slot = shard.segment_free.back();
       shard.segment_free.pop_back();
@@ -402,7 +410,8 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
   }
 
   /// Register a freshly filled segment with the head index.
-  void commit_segment(Place& shard, std::uint32_t slot) {
+  void commit_segment(Place& shard, std::uint32_t slot)
+      KPS_REQUIRES(shard.pub_lock) {
     Segment& s = shard.segments[slot];
     s.head = 0;
     shard.seg_index.push(
@@ -412,8 +421,9 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
   /// Segment-merge entry point: splice a pre-sorted ascending run into
   /// `shard`'s published tier as one segment — O(log S) against the
   /// segment-head index, independent of the run length and of the shard
-  /// heap's size.  Requires shard.pub_lock; caller refreshes the minima.
-  void ingest_sorted_run(Place& shard, Entry* first, std::size_t count) {
+  /// heap's size.  Caller refreshes the minima.
+  void ingest_sorted_run(Place& shard, Entry* first, std::size_t count)
+      KPS_REQUIRES(shard.pub_lock) {
     const std::uint32_t slot = acquire_segment(shard);
     Segment& s = shard.segments[slot];
     if (s.run.capacity() == 0 && !shard.run_pool.empty()) {
@@ -427,8 +437,9 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
 
   /// Copy-free variant for a run that fits one segment: swap the owner's
   /// flush buffer with the segment's vector, leaving recycled capacity
-  /// behind for the next flush.  Requires shard.pub_lock.
-  void ingest_sorted_run_swap(Place& shard, std::vector<Entry>& run_buf) {
+  /// behind for the next flush.
+  void ingest_sorted_run_swap(Place& shard, std::vector<Entry>& run_buf)
+      KPS_REQUIRES(shard.pub_lock) {
     const std::uint32_t slot = acquire_segment(shard);
     Segment& s = shard.segments[slot];
     s.run.clear();
@@ -449,8 +460,8 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
   /// remaining tasks into the shard heap, recycling its slot and run
   /// capacity.  Tasks only move between containers of the same shard
   /// under pub_lock, so relaxation bounds and the shard minimum are
-  /// untouched.  Requires shard.pub_lock; caller refreshes the minima.
-  void maybe_spill_segments(Place& shard) {
+  /// untouched.  Caller refreshes the minima.
+  void maybe_spill_segments(Place& shard) KPS_REQUIRES(shard.pub_lock) {
     if (cfg_.max_segments <= 0) return;
     const auto limit = static_cast<std::size_t>(cfg_.max_segments);
     if (shard.seg_index.size() <= limit) return;

@@ -59,6 +59,7 @@
 #include "support/histogram.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
+#include "support/thread_safety.hpp"
 #include "support/trace.hpp"
 
 namespace kps {
@@ -134,7 +135,10 @@ template <typename TaskT>
 struct alignas(kCacheLine) LifecycleNode {
   std::atomic<std::uint64_t> word{0};
   TaskT task{};
-  LifecycleNode* next = nullptr;  // free-list link, touched under the pool lock
+  // Free-list link.  Touched only under the owning ledger's pool_lock_
+  // (a per-instance lock GUARDED_BY cannot name across classes — the
+  // ledger's acquire/recycle are the only writers).
+  LifecycleNode* next = nullptr;
   // Enqueue timestamp for the queue-delay histogram (PR 8): written by
   // wrap() before the live-publishing store, read by the entry's
   // exclusive owner before claim recycles the block.  Plain field —
@@ -196,6 +200,8 @@ class LifecycleLedger {
     // monotonic from boot — 0 never occurs as a real post-boot stamp.
     n->spawn_ns =
         (queue_delay_ != nullptr && sampled_this_wrap()) ? now_ns() : 0;
+    // order: relaxed — the block left the pool, so this thread is the
+    // only writer; the release store below publishes the new generation.
     const std::uint64_t gen = (n->word.load(std::memory_order_relaxed) >> 2) + 1;
     n->word.store((gen << 2) | kLcLive, std::memory_order_release);
     *handle = {n, gen};
@@ -211,6 +217,8 @@ class LifecycleLedger {
     if (KPS_FAILPOINT_FAIL("lifecycle.cancel")) return false;
     auto* n = static_cast<Node*>(h.node);
     std::uint64_t expected = (h.gen << 2) | kLcLive;
+    // order: relaxed (failure) — a lost cancel race reads nothing from
+    // the block; success is acq_rel (see the state machine contract).
     return n->word.compare_exchange_strong(expected,
                                            (h.gen << 2) | kLcCancelled,
                                            std::memory_order_acq_rel,
@@ -226,6 +234,8 @@ class LifecycleLedger {
     if (KPS_FAILPOINT_FAIL("lifecycle.cancel")) return std::nullopt;
     auto* n = static_cast<Node*>(h.node);
     std::uint64_t expected = (h.gen << 2) | kLcLive;
+    // order: relaxed (failure) — a lost detach reads nothing; success is
+    // acq_rel so the winner's read of n->task sees wrap()'s copy.
     if (!n->word.compare_exchange_strong(expected,
                                          (h.gen << 2) | kLcCancelled,
                                          std::memory_order_acq_rel,
@@ -319,6 +329,7 @@ class LifecycleLedger {
   }
   static std::uint64_t next_ledger_id() {
     static std::atomic<std::uint64_t> ids{1};
+    // order: relaxed — a unique id, not a synchronization point.
     return ids.fetch_add(1, std::memory_order_relaxed);
   }
 
@@ -360,6 +371,8 @@ class LifecycleLedger {
       s.node = n;
       return;
     }
+    // order: relaxed — emptiness probe; the exchange below is the real
+    // acq_rel handoff, a stale read only skips the hot-slot shortcut.
     if (hot_.load(std::memory_order_relaxed) == nullptr) {
       n = hot_.exchange(n, std::memory_order_acq_rel);
       if (n == nullptr) return;  // parked in the hot slot
@@ -376,9 +389,9 @@ class LifecycleLedger {
   std::uint64_t id_ = next_ledger_id();
   Spinlock pool_lock_;
   std::atomic<Node*> hot_{nullptr};
-  Node* free_ = nullptr;
-  std::size_t chunk_used_ = 0;
-  std::vector<std::unique_ptr<Node[]>> chunks_;
+  Node* free_ KPS_GUARDED_BY(pool_lock_) = nullptr;
+  std::size_t chunk_used_ KPS_GUARDED_BY(pool_lock_) = 0;
+  std::vector<std::unique_ptr<Node[]>> chunks_ KPS_GUARDED_BY(pool_lock_);
 };
 
 }  // namespace detail

@@ -24,6 +24,7 @@
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
+#include "support/thread_safety.hpp"
 
 namespace kps {
 
@@ -156,10 +157,12 @@ class MultiQueuePool
 
   struct alignas(kCacheLine) Queue {
     Spinlock lock;
-    DaryHeap<Entry, detail::LcEntryLess, 4> heap;
+    DaryHeap<Entry, detail::LcEntryLess, 4> heap KPS_GUARDED_BY(lock);
+    // Lock-free probe cache; read unlocked by design (two-choices compare),
+    // republished under the lock after every structural change.
     std::atomic<double> top_cache{kEmptyTop};
 
-    void publish_top() {
+    void publish_top() KPS_REQUIRES(lock) {
       top_cache.store(heap.empty()
                           ? kEmptyTop
                           : static_cast<double>(heap.top().task.priority),

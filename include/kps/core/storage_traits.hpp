@@ -213,6 +213,8 @@ class CapacityGate {
   /// Pre-insert check: true = the storage is (approximately) full and the
   /// overflow policy decides the task's fate.
   bool at_capacity() const {
+    // order: relaxed — capacity is approximate by contract (racing
+    // pushers may momentarily overshoot); no payload rides on this read.
     return bounded() &&
            size_.load(std::memory_order_relaxed) >=
                static_cast<std::int64_t>(capacity_);
@@ -221,10 +223,12 @@ class CapacityGate {
   /// +1 on insert, -1 on successful pop / evicted resident.  No-op while
   /// unbounded.
   void add(std::int64_t d) {
+    // order: relaxed — pure occupancy counter, same contract as above.
     if (bounded()) size_.fetch_add(d, std::memory_order_relaxed);
   }
 
   std::int64_t size() const {
+    // order: relaxed — diagnostic read of the approximate occupancy.
     return size_.load(std::memory_order_relaxed);
   }
 

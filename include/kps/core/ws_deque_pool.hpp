@@ -24,6 +24,7 @@
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
+#include "support/thread_safety.hpp"
 
 namespace kps {
 
@@ -41,7 +42,9 @@ class WsDequePool
     Tracer* trace = nullptr;
     Xoshiro256 rng;
     Spinlock lock;
-    std::deque<Entry> deque;  // owner: back; thieves: front
+    std::deque<Entry> deque KPS_GUARDED_BY(lock);  // owner: back; thieves: front
+    // Owner-only scratch: only this place's thread (as thief) fills and
+    // drains it, never concurrently — deliberately unguarded.
     std::vector<Entry> loot;  // reused steal buffer
   };
 

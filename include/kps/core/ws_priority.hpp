@@ -27,6 +27,7 @@
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
+#include "support/thread_safety.hpp"
 
 namespace kps {
 
@@ -43,7 +44,9 @@ class WsPriorityPool
     Tracer* trace = nullptr;
     Xoshiro256 rng;
     Spinlock lock;
-    DaryHeap<Entry, detail::LcEntryLess, 4> heap;
+    DaryHeap<Entry, detail::LcEntryLess, 4> heap KPS_GUARDED_BY(lock);
+    // Owner-only scratch: only this place's thread (as thief) fills and
+    // drains it, never concurrently — deliberately unguarded.
     std::vector<Entry> loot;  // reused steal buffer
   };
 

@@ -67,13 +67,14 @@ SsspResult parallel_sssp(const Graph& g, Graph::node_t src, Storage& storage,
 
   std::vector<std::atomic<double>> dist(n);
   for (auto& d : dist) {
+    // order: relaxed — single-threaded init before workers start.
     d.store(std::numeric_limits<double>::infinity(),
             std::memory_order_relaxed);
   }
 
   SsspResult result;
   if (src >= n) return result;
-  dist[src].store(0.0, std::memory_order_relaxed);
+  dist[src].store(0.0, std::memory_order_relaxed);  // order: relaxed — init
 
   struct alignas(kCacheLine) Sink {
     std::uint64_t v = 0;
@@ -84,14 +85,18 @@ SsspResult parallel_sssp(const Graph& g, Graph::node_t src, Storage& storage,
                     const SsspTask& task) -> bool {
     const Graph::node_t v = task.payload;
     const double d = task.priority;
+    // order: relaxed — monotone-decreasing cell; a stale (higher) read
+    // only expands a node redundantly, correctness comes from the CAS.
     if (d > dist[v].load(std::memory_order_relaxed)) return false;  // stale
     if (grain) sinks[handle.place_index()].v += detail::spin_work(v, grain);
     const std::uint64_t end = g.offsets[v + 1];
     for (std::uint64_t e = g.offsets[v]; e < end; ++e) {
       const Graph::node_t u = g.targets[e];
       const double nd = d + g.weights[e];
-      double cur = dist[u].load(std::memory_order_relaxed);
+      double cur = dist[u].load(std::memory_order_relaxed);  // order: relaxed — CAS seed
       while (nd < cur) {
+        // order: relaxed — CAS-min on a plain double cell: the spawned
+        // task, not the cell, carries the distance to its reader.
         if (dist[u].compare_exchange_weak(cur, nd,
                                           std::memory_order_relaxed)) {
           handle.spawn({nd, u});
@@ -118,6 +123,7 @@ SsspResult parallel_sssp(const Graph& g, Graph::node_t src, Storage& storage,
   for (const Sink& s : sinks) result.grain_sink += s.v;
   result.dist.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
+    // order: relaxed — read at quiescence (workers joined).
     result.dist[i] = dist[i].load(std::memory_order_relaxed);
   }
   return result;

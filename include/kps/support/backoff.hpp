@@ -36,6 +36,10 @@ class Backoff {
 #if defined(__x86_64__) || defined(__i386__)
       __builtin_ia32_pause();
 #else
+      // order: seq_cst — signal fence only (compiler barrier, no
+      // hardware cost): stops the pause loop from being optimized to
+      // nothing on targets without a pause instruction.  Audited PR 9:
+      // kept; there is no weaker order that still pins the loop.
       std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
     }

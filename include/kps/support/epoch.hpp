@@ -22,12 +22,13 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <utility>
 #include <vector>
 
 #include "support/failpoint.hpp"
+#include "support/mutex.hpp"
 #include "support/stats.hpp"  // kCacheLine
+#include "support/thread_safety.hpp"
 
 namespace kps {
 
@@ -98,7 +99,9 @@ class EpochDomain {
   EpochDomain(const EpochDomain&) = delete;
   EpochDomain& operator=(const EpochDomain&) = delete;
 
-  ~EpochDomain() {
+  // Destructor requires external quiescence: every EpochThread is gone,
+  // so the orphan list has no concurrent writers to lock against.
+  ~EpochDomain() KPS_NO_THREAD_SAFETY_ANALYSIS {
     for (auto& r : orphans_) r.deleter(r.ptr);
     detail::EpochRecord* rec = records_.load(std::memory_order_acquire);
     while (rec) {
@@ -134,10 +137,15 @@ class EpochDomain {
       }
     }
     auto* r = new detail::EpochRecord();
+    // order: relaxed — the record is still thread-private; the CAS below
+    // (release on success) publishes it with this store ordered before.
     r->in_use.store(true, std::memory_order_relaxed);
+    // order: relaxed — head snapshot for the CAS loop; the CAS validates.
     detail::EpochRecord* head = records_.load(std::memory_order_relaxed);
     do {
       r->next = head;
+      // order: relaxed (failure) — the CAS reloads head for the retry;
+      // success is acq_rel to publish the new record's fields.
     } while (!records_.compare_exchange_weak(head, r,
                                              std::memory_order_acq_rel,
                                              std::memory_order_relaxed));
@@ -152,8 +160,11 @@ class EpochDomain {
     if (KPS_FAILPOINT_FAIL("epoch.advance")) {
       return global_epoch_.load(std::memory_order_acquire);
     }
-    // Pairs with the fence in pin(): without it a collector could miss a
-    // concurrent pin (store-buffering) and advance past a live reader.
+    // order: seq_cst — pairs with the fence in pin(): without the pair a
+    // collector could miss a concurrent pin (store-buffering) and advance
+    // past a live reader.  Audited PR 9: kept — acq_rel fences do not
+    // order a store before a later load, which is exactly the Dekker
+    // pattern this closes.
     std::atomic_thread_fence(std::memory_order_seq_cst);
     std::uint64_t e = global_epoch_.load(std::memory_order_acquire);
     for (detail::EpochRecord* r = records_.load(std::memory_order_acquire);
@@ -169,22 +180,27 @@ class EpochDomain {
   }
 
   void adopt_orphans(std::vector<detail::Retired>&& garbage) {
-    std::lock_guard<std::mutex> lk(orphan_mutex_);
+    MutexGuard lk(orphan_mutex_);
     orphans_.insert(orphans_.end(), garbage.begin(), garbage.end());
   }
 
   std::atomic<std::uint64_t> global_epoch_{1};
   std::atomic<detail::EpochRecord*> records_{nullptr};
-  std::mutex orphan_mutex_;
-  std::vector<detail::Retired> orphans_;
+  Mutex orphan_mutex_;
+  std::vector<detail::Retired> orphans_ KPS_GUARDED_BY(orphan_mutex_);
 };
 
 inline void EpochThread::pin() {
+  // order: relaxed — a lagging epoch read is absorbed by collect()'s +3
+  // grace period; the fence below orders the announcement itself.
   const std::uint64_t e = domain_->global_epoch_.load(std::memory_order_relaxed);
+  // order: relaxed — the seq_cst fence below upgrades this announcement;
+  // a plain release store would not stop later loads from hoisting above
+  // it (store-buffering with the collector's scan).
   record_->state.store((e << 1) | 1u, std::memory_order_relaxed);
-  // The fence orders the announcement before any subsequent shared-memory
-  // read: a collector that misses it can only be freeing garbage from
-  // epochs this thread can no longer reach.
+  // order: seq_cst — the announcement must be globally visible before any
+  // subsequent shared-memory read; pairs with try_advance()'s fence.
+  // Audited PR 9: kept — the store-buffering race has no weaker fix.
   std::atomic_thread_fence(std::memory_order_seq_cst);
   // Seam sits AFTER the announcement: a delay/stall here models a reader
   // that pins and then goes quiet, which must block every collector's
@@ -198,6 +214,9 @@ inline void EpochThread::unpin() {
 
 inline void EpochThread::retire(void* p, void (*deleter)(void*)) {
   retired_.push_back(
+      // order: relaxed — a stale (older) epoch tag only makes the garbage
+      // LOOK older than it is by at most one epoch; collect()'s +3 grace
+      // period absorbs the lag (see the comment there).
       {p, deleter, domain_->global_epoch_.load(std::memory_order_relaxed)});
   if (retired_.size() >= kCollectThreshold) collect();
 }

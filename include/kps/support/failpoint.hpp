@@ -42,11 +42,13 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
+
+#include "support/mutex.hpp"
+#include "support/thread_safety.hpp"
 
 namespace kps::fp {
 
@@ -113,16 +115,22 @@ class Site {
     // one takes effect, so re-arming never strands a stalled place.
     armed_.store(false, std::memory_order_release);
     generation_.fetch_add(1, std::memory_order_acq_rel);
+    // order: relaxed (policy fields below) — the final release store of
+    // armed_ publishes the whole policy; fire() reads the fields only
+    // after its acquire load of armed_ sees true.
     action_.store(static_cast<std::uint8_t>(p.action),
-                  std::memory_order_relaxed);
-    skip_.store(p.skip, std::memory_order_relaxed);
-    count_.store(p.count, std::memory_order_relaxed);
-    prob_bits_.store(double_bits(p.probability), std::memory_order_relaxed);
-    seed_.store(p.seed, std::memory_order_relaxed);
-    delay_iters_.store(p.delay_iters, std::memory_order_relaxed);
-    stall_timeout_.store(p.stall_timeout_iters, std::memory_order_relaxed);
-    hits_.store(0, std::memory_order_relaxed);
-    fired_.store(0, std::memory_order_relaxed);
+                  std::memory_order_relaxed);  // order: relaxed — see above
+    skip_.store(p.skip, std::memory_order_relaxed);  // order: relaxed — see above
+    count_.store(p.count, std::memory_order_relaxed);  // order: relaxed — see above
+    prob_bits_.store(double_bits(p.probability),
+                     std::memory_order_relaxed);  // order: relaxed — see above
+    seed_.store(p.seed, std::memory_order_relaxed);  // order: relaxed — see above
+    delay_iters_.store(p.delay_iters,
+                       std::memory_order_relaxed);  // order: relaxed — see above
+    stall_timeout_.store(p.stall_timeout_iters,
+                         std::memory_order_relaxed);  // order: relaxed — see above
+    hits_.store(0, std::memory_order_relaxed);  // order: relaxed — see above
+    fired_.store(0, std::memory_order_relaxed);  // order: relaxed — see above
     armed_.store(p.action != Action::off, std::memory_order_release);
   }
 
@@ -160,29 +168,40 @@ class Site {
   }
 
   bool fire_armed() {
+    // order: relaxed — the hit ordinal is a counter; the caller's acquire
+    // load of armed_ already ordered this hit after the policy publish.
     const std::uint64_t n = hits_.fetch_add(1, std::memory_order_relaxed);
+    // order: relaxed (policy reads below) — published before armed_'s
+    // release store, ordered by the acquire load of armed_ in fire().
     const std::uint64_t skip = skip_.load(std::memory_order_relaxed);
     if (n < skip) return false;
-    if (n - skip >= count_.load(std::memory_order_relaxed)) return false;
-    const double p = bits_double(prob_bits_.load(std::memory_order_relaxed));
+    if (n - skip >= count_.load(std::memory_order_relaxed))  // order: relaxed — see above
+      return false;
+    const double p = bits_double(
+        prob_bits_.load(std::memory_order_relaxed));  // order: relaxed — see above
     if (p < 1.0) {
-      const std::uint64_t seed = seed_.load(std::memory_order_relaxed);
+      const std::uint64_t seed =
+          seed_.load(std::memory_order_relaxed);  // order: relaxed — see above
       const double u =
           static_cast<double>(mix64(seed ^ (n + 1) * 0x2545f4914f6cdd1dull)) *
           0x1.0p-64;
       if (u >= p) return false;
     }
-    fired_.fetch_add(1, std::memory_order_relaxed);
-    switch (static_cast<Action>(action_.load(std::memory_order_relaxed))) {
+    fired_.fetch_add(1, std::memory_order_relaxed);  // order: relaxed — counter
+    switch (static_cast<Action>(
+        action_.load(std::memory_order_relaxed))) {  // order: relaxed — see above
       case Action::fail:
         return true;
       case Action::delay: {
         const std::uint64_t iters =
-            delay_iters_.load(std::memory_order_relaxed);
+            delay_iters_.load(std::memory_order_relaxed);  // order: relaxed — see above
         for (std::uint64_t i = 0; i < iters; ++i) {
 #if defined(__x86_64__) || defined(__i386__)
           __builtin_ia32_pause();
 #else
+          // order: seq_cst — signal fence only (compiler barrier, free at
+          // runtime): keeps the delay loop from being optimized away on
+          // targets without a pause instruction.  Audited PR 9: kept.
           std::atomic_signal_fence(std::memory_order_seq_cst);
 #endif
         }
@@ -203,7 +222,8 @@ class Site {
   void do_stall() {
     const std::uint64_t entry = generation_.load(std::memory_order_acquire);
     stalled_.fetch_add(1, std::memory_order_acq_rel);
-    const std::uint64_t cap = stall_timeout_.load(std::memory_order_relaxed);
+    const std::uint64_t cap =
+        stall_timeout_.load(std::memory_order_relaxed);  // order: relaxed — see fire_armed
     std::uint64_t iters = 0;
     while (armed_.load(std::memory_order_acquire) &&
            generation_.load(std::memory_order_acquire) == entry &&
@@ -237,7 +257,7 @@ class Registry {
   }
 
   Site& site(std::string_view name) {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexGuard lk(mutex_);
     for (auto& s : sites_) {
       if (s->name() == name) return *s;
     }
@@ -246,12 +266,12 @@ class Registry {
   }
 
   void disarm_all() {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexGuard lk(mutex_);
     for (auto& s : sites_) s->disarm();
   }
 
   std::vector<SiteReport> report() {
-    std::lock_guard<std::mutex> lk(mutex_);
+    MutexGuard lk(mutex_);
     std::vector<SiteReport> out;
     out.reserve(sites_.size());
     for (auto& s : sites_) out.push_back({s->name(), s->hits(), s->fired()});
@@ -259,8 +279,8 @@ class Registry {
   }
 
  private:
-  std::mutex mutex_;
-  std::vector<std::unique_ptr<Site>> sites_;
+  Mutex mutex_;
+  std::vector<std::unique_ptr<Site>> sites_ KPS_GUARDED_BY(mutex_);
 };
 
 inline Site& site(std::string_view name) {

@@ -119,10 +119,14 @@ class Histogram {
 
   void record(std::size_t place, std::uint64_t v) {
     Block& b = blocks_[place];
+    // order: relaxed (all cells) — measurement counters, aggregated at
+    // quiescence; snapshot() tolerates transient cross-cell skew.
     b.buckets[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
-    b.count.fetch_add(1, std::memory_order_relaxed);
-    b.sum.fetch_add(v, std::memory_order_relaxed);
-    std::uint64_t m = b.max.load(std::memory_order_relaxed);
+    b.count.fetch_add(1, std::memory_order_relaxed);  // order: relaxed — see above
+    b.sum.fetch_add(v, std::memory_order_relaxed);  // order: relaxed — see above
+    std::uint64_t m = b.max.load(std::memory_order_relaxed);  // order: relaxed — CAS seed
+    // order: relaxed (both) — CAS-max carries no payload; the loop
+    // re-validates against the reloaded value.
     while (v > m && !b.max.compare_exchange_weak(m, v,
                                                  std::memory_order_relaxed,
                                                  std::memory_order_relaxed)) {
@@ -135,11 +139,13 @@ class Histogram {
   HistogramSnapshot snapshot(std::size_t place) const {
     const Block& b = blocks_[place];
     HistogramSnapshot out;
+    // order: relaxed (all cells) — see the snapshot contract above.
     out.count = b.count.load(std::memory_order_relaxed);
-    out.sum = b.sum.load(std::memory_order_relaxed);
-    out.max = b.max.load(std::memory_order_relaxed);
+    out.sum = b.sum.load(std::memory_order_relaxed);  // order: relaxed — see above
+    out.max = b.max.load(std::memory_order_relaxed);  // order: relaxed — see above
     out.buckets.resize(kBuckets);
     for (std::size_t i = 0; i < kBuckets; ++i) {
+      // order: relaxed — see the snapshot contract above.
       out.buckets[i] = b.buckets[i].load(std::memory_order_relaxed);
     }
     return out;

@@ -61,6 +61,8 @@ class MinIndex {
     while (true) {
       levels_.emplace_back(n);
       for (auto& node : levels_.back()) {
+        // order: relaxed — constructor runs single-threaded; publication
+        // of the whole object happens-before any concurrent use.
         node.store(kEmpty, std::memory_order_relaxed);
       }
       if (n == 1) break;
@@ -111,6 +113,8 @@ class MinIndex {
     const double m = recompute();
     if (m < cur) {
       if (cas_min(node, m)) ++heals;
+      // order: relaxed (failure) — lost raise: a racing writer got
+      // there first; its value is lower or freshly recomputed.
     } else if (m > cur &&
                node.compare_exchange_strong(cur, m,
                                             std::memory_order_acq_rel,
@@ -162,11 +166,15 @@ class MinIndex {
         return kNone;
       }
       auto& node = levels_[l][idx];
+      // order: relaxed — staleness probe feeding a CAS-from-observed; a
+      // stale read only makes the CAS fail and the heal retry later.
       double cur = node.load(std::memory_order_relaxed);
       if (cur < best) {
         // Stale-low node (its former min child was raised): heal up by
         // CAS-from-observed, then re-check the children for a racing
         // decrease the raise might hide.
+        // order: relaxed (failure) — a lost raise means a racing writer
+        // owns the node; we leave its (fresher) value alone.
         if (node.compare_exchange_strong(cur, best,
                                          std::memory_order_acq_rel,
                                          std::memory_order_relaxed)) {
@@ -192,8 +200,10 @@ class MinIndex {
   /// CAS-min: lower `a` to v unless it is already ≤ v.  Returns whether
   /// a store happened.
   static bool cas_min(std::atomic<double>& a, double v) {
+    // order: relaxed — seed for the CAS loop; the CAS re-validates.
     double cur = a.load(std::memory_order_relaxed);
     while (v < cur) {
+      // order: relaxed (failure) — the CAS reloads cur for the retry.
       if (a.compare_exchange_weak(cur, v, std::memory_order_acq_rel,
                                   std::memory_order_relaxed)) {
         return true;
@@ -220,6 +230,8 @@ class MinIndex {
     double cur = node.load(std::memory_order_acquire);
     const double m = scan();
     if (m < cur) return cas_min(node, m) ? 1 : 0;
+    // order: relaxed (failure) — lost raise: a racing writer's fresher
+    // value stands (see heal_block's protocol comment).
     if (m > cur && node.compare_exchange_strong(cur, m,
                                                 std::memory_order_acq_rel,
                                                 std::memory_order_relaxed)) {

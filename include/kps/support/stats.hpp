@@ -98,6 +98,8 @@ struct alignas(kCacheLine) PlaceCounters {
   std::array<std::atomic<std::uint64_t>, kNumCounters> c{};
 
   void inc(Counter n, std::uint64_t by = 1) {
+    // order: relaxed — statistics counter; aggregated at quiescence (or
+    // tear-tolerantly by the sampler), never a synchronization point.
     c[static_cast<std::size_t>(n)].fetch_add(by, std::memory_order_relaxed);
   }
 
@@ -112,6 +114,8 @@ struct alignas(kCacheLine) PlaceCounters {
   PlaceStats snapshot() const {
     PlaceStats out;
     for (std::size_t i = 0; i < kNumCounters; ++i) {
+      // order: relaxed — snapshot readers tolerate tearing across
+      // counters by design (see the derived-counter comment above).
       out.v[i] = c[i].load(std::memory_order_relaxed);
     }
     // A future counter path writing the raw total would silently desync

@@ -70,12 +70,16 @@ class Telemetry {
   /// Runner-side: publish place p's current relaxation window (one
   /// relaxed store on a line only p writes).
   void publish_window(std::size_t place, int k) {
+    // order: relaxed — telemetry signal; the sampler reads whatever value
+    // is current at its next tick, no ordering obligation.
     signals_[place].window.store(k, std::memory_order_relaxed);
   }
 
   /// Watchdog-side (satellite 2): a stalled place becomes a trace event
   /// now and a snapshot field at the next sample.
   void note_stall(std::size_t place, std::uint64_t streak) {
+    // order: relaxed — sticky flag consumed by the sampler's exchange;
+    // a late-observed stall still lands in the next snapshot.
     signals_[place].stalled.store(1, std::memory_order_relaxed);
     if (tracer_) tracer_->emit_control(TraceEv::stall, streak, place);
   }
@@ -138,9 +142,11 @@ class Telemetry {
                                         ps.get(Counter::tasks_shed) +
                                         ps.get(Counter::tasks_cancelled));
       s.by_place.push_back(std::move(ps));
+      // order: relaxed — sampler-side telemetry reads; values may lag
+      // their writers by one tick, which the time series tolerates.
       s.window.push_back(signals_[p].window.load(std::memory_order_relaxed));
-      s.stalled.push_back(
-          signals_[p].stalled.exchange(0, std::memory_order_relaxed));
+      s.stalled.push_back(signals_[p].stalled.exchange(
+          0, std::memory_order_relaxed));  // order: relaxed — see above
     }
     s.queue_depth = spawned - gone;
     series_.push_back(std::move(s));

@@ -37,6 +37,7 @@
 
 #include "support/failpoint.hpp"
 #include "support/spinlock.hpp"
+#include "support/thread_safety.hpp"
 
 namespace kps {
 
@@ -122,7 +123,8 @@ class TimerWheel {
   // Move entries with deadline <= now from `slot` into due_, preserving
   // insertion order among survivors and among the due (stable partition
   // by hand — slots are short).
-  void drain_due(std::vector<Entry>& slot, std::uint64_t now) {
+  void drain_due(std::vector<Entry>& slot, std::uint64_t now)
+      KPS_REQUIRES(lock_) {
     std::size_t keep = 0;
     for (std::size_t i = 0; i < slot.size(); ++i) {
       if (slot[i].when <= now) {
@@ -136,10 +138,13 @@ class TimerWheel {
   }
 
   mutable Spinlock lock_;
-  std::vector<std::vector<Entry>> slots_{kSlots};
-  std::vector<Entry> due_;     // scratch, guarded by lock_ until swapped out
-  std::uint64_t last_ = 0;     // wheel position: last tick already covered
-  std::size_t armed_ = 0;
+  std::vector<std::vector<Entry>> slots_ KPS_GUARDED_BY(lock_) =
+      std::vector<std::vector<Entry>>(kSlots);
+  // Scratch: filled under lock_, swapped to a local before firing.
+  std::vector<Entry> due_ KPS_GUARDED_BY(lock_);
+  // Wheel position: last tick already covered.
+  std::uint64_t last_ KPS_GUARDED_BY(lock_) = 0;
+  std::size_t armed_ KPS_GUARDED_BY(lock_) = 0;
 };
 
 }  // namespace kps

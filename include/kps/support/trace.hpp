@@ -108,8 +108,12 @@ class Tracer {
 
   /// Runtime master switch: an attached-but-disabled tracer costs one
   /// relaxed load per emit site.
+  // order: relaxed (both) — a toggle raced with an emit loses or keeps
+  // one borderline record; no payload is ordered by the switch.
   void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
-  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);  // order: relaxed — see above
+  }
 
   /// Record an event on `ring` (the emitting place), about that place.
   void emit(std::size_t ring, TraceEv ev, std::uint64_t arg = 0) {
@@ -124,6 +128,7 @@ class Tracer {
 
   /// Logical pop clock: total pop events emitted so far.
   std::uint64_t clock() const {
+    // order: relaxed — monotone logical-time read; callers only compare.
     return clock_.load(std::memory_order_relaxed);
   }
 
@@ -135,6 +140,7 @@ class Tracer {
   }
 
   std::uint64_t drops(std::size_t ring) const {
+    // order: relaxed — statistics counter read.
     return rings_[ring].drops.load(std::memory_order_relaxed);
   }
 
@@ -150,6 +156,8 @@ class Tracer {
     std::vector<TraceRecord> out;
     for (std::size_t i = 0; i <= P_; ++i) {
       Ring& r = rings_[i];
+      // order: relaxed — tail is consumer-owned (SPSC: this drain is the
+      // only mover); head below is the acquire that orders buf[] reads.
       const std::uint64_t t = r.tail.load(std::memory_order_relaxed);
       const std::uint64_t h = r.head.load(std::memory_order_acquire);
       for (std::uint64_t s = t; s < h; ++s) {
@@ -176,17 +184,22 @@ class Tracer {
 
   void emit_as(std::size_t ring, TraceEv ev, std::uint64_t arg,
                std::size_t about) {
+    // order: relaxed — see set_enabled's contract.
     if (!enabled_.load(std::memory_order_relaxed)) return;
     // The pop clock advances on pops even when the record is dropped —
     // logical time must not depend on ring occupancy.
+    // order: relaxed (both legs) — the pop clock is a monotone counter;
+    // readers only compare ticks, no data is published through it.
     const std::uint64_t tick =
         (ev == TraceEv::pop)
             ? clock_.fetch_add(1, std::memory_order_relaxed) + 1
             : clock_.load(std::memory_order_relaxed);
     Ring& r = rings_[ring];
+    // order: relaxed — head is producer-owned (SPSC: one writer per
+    // ring); its release store below is what publishes the record.
     const std::uint64_t h = r.head.load(std::memory_order_relaxed);
     if (h - r.tail.load(std::memory_order_acquire) >= cap_) {
-      r.drops.fetch_add(1, std::memory_order_relaxed);
+      r.drops.fetch_add(1, std::memory_order_relaxed);  // order: relaxed — counter
       return;
     }
     TraceRecord& rec = r.buf[h & (cap_ - 1)];

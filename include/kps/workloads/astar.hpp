@@ -126,15 +126,22 @@ AstarRun astar_parallel(const GridMaze& m, Storage& storage,
   static_assert(std::is_same_v<typename Storage::task_type, AstarTask>);
 
   std::vector<std::atomic<std::uint32_t>> g(m.nodes());
+  // order: relaxed — single-threaded initialization; the runner's thread
+  // creation synchronizes these stores with the workers.
   for (auto& v : g) v.store(kGridInf, std::memory_order_relaxed);
+  // order: relaxed — see above (still pre-start, single-threaded).
   g[m.start].store(0, std::memory_order_relaxed);
 
   auto expand = [&](RunnerHandle<Storage>& handle,
                     const AstarTask& task) -> bool {
     const std::uint32_t v = task.payload.node;
     const std::uint32_t gv = task.payload.g;
+    // order: relaxed — monotone-decreasing cell: a stale (higher) read
+    // only lets a dominated task through to the CAS re-check.
     if (gv > g[v].load(std::memory_order_relaxed)) return false;  // stale
     if (v == m.goal) return true;  // settled; paths through goal are moot
+    // order: relaxed — prune heuristic against the goal's best-known g;
+    // staleness costs wasted expansion, never correctness.
     const std::uint32_t incumbent = g[m.goal].load(std::memory_order_relaxed);
     if (incumbent != kGridInf && gv + m.manhattan(v) >= incumbent) {
       return false;  // cannot beat the best known path — pruned
@@ -148,11 +155,15 @@ AstarRun astar_parallel(const GridMaze& m, Storage& storage,
         y + 1 < m.height ? v + m.width : kGridInf};
     for (const std::uint32_t u : cand) {
       if (u == kGridInf || m.blocked[u]) continue;
+      // order: relaxed — CAS-min seed; the CAS re-reads on failure.
       std::uint32_t cur = g[u].load(std::memory_order_relaxed);
       while (ng < cur) {
+        // order: relaxed — the spawned task, not the g[] cell, carries
+        // the distance; the cell is a monotone prune filter.
         if (g[u].compare_exchange_weak(cur, ng,
                                        std::memory_order_relaxed)) {
           const std::uint32_t h = m.manhattan(u);
+          // order: relaxed — goal-bound prune, same contract as above.
           const std::uint32_t best =
               g[m.goal].load(std::memory_order_relaxed);
           if (best == kGridInf || ng + h < best) {
@@ -171,6 +182,7 @@ AstarRun astar_parallel(const GridMaze& m, Storage& storage,
       {AstarTask{static_cast<double>(m.manhattan(m.start)),
                  AstarNode{m.start, 0}}},
       expand, stats);
+  // order: relaxed — quiescent read; run_relaxed joined the workers.
   run.goal_dist = g[m.goal].load(std::memory_order_relaxed);
   run.expanded = run.runner.expanded;
   run.wasted = run.runner.wasted;

@@ -182,8 +182,12 @@ namespace detail {
 /// improved the incumbent and owns the improvement — speculative pruning
 /// keys off exactly that edge).
 inline bool cas_max(std::atomic<std::uint64_t>& target, std::uint64_t v) {
+  // order: relaxed — CAS-max seed; a stale read only costs an extra
+  // loop iteration before the CAS re-reads the true value.
   std::uint64_t cur = target.load(std::memory_order_relaxed);
   while (cur < v) {
+    // order: relaxed — the incumbent is a monotone measurement cell;
+    // the spawned tasks, not this cell, carry the data dependency.
     if (target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
       return true;
     }
@@ -206,6 +210,8 @@ BnbRun bnb_parallel(const KnapsackInstance& inst, Storage& storage,
     if (child.level >= n) return;  // leaf: its value is already folded in
     const std::uint64_t ub =
         knapsack_bound(inst, child.level, child.weight, child.profit);
+    // order: relaxed — speculative prune: a stale (lower) incumbent
+    // only admits a task the pop-side re-check will discard.
     if (ub > incumbent.load(std::memory_order_relaxed)) {
       handle.spawn({-static_cast<double>(ub), child});
     }
@@ -218,6 +224,7 @@ BnbRun bnb_parallel(const KnapsackInstance& inst, Storage& storage,
     // Re-check at pop: the incumbent may have overtaken this node's
     // bound while it sat in the storage — a relaxed pop order surfaces
     // such dominated nodes more often (the A12 wasted column).
+    // order: relaxed — prune heuristic; staleness costs work, not safety.
     if (ub <= incumbent.load(std::memory_order_relaxed)) return false;
     // Include item `level` (if it fits), then exclude it.
     if (node.weight + inst.weight[node.level] <= inst.capacity) {
@@ -237,6 +244,7 @@ BnbRun bnb_parallel(const KnapsackInstance& inst, Storage& storage,
       storage, k_policy,
       {BnbTask{-static_cast<double>(root_ub), BnbNode{0, 0, 0}}}, expand,
       stats);
+  // order: relaxed — quiescent read; run_relaxed joined the workers.
   run.best_profit = incumbent.load(std::memory_order_relaxed);
   run.expanded = run.runner.expanded;
   run.pruned = run.runner.wasted;
@@ -305,11 +313,14 @@ BnbRun bnb_parallel_speculative(const KnapsackInstance& inst,
 
   auto spawn_child = [&](RunnerHandle<Storage>& handle, BnbNode child) {
     if (detail::cas_max(incumbent, child.profit)) {
+      // order: relaxed — sweep threshold; a stale incumbent only keeps a
+      // dominated handle alive until the next sweep.
       sweep(handle, incumbent.load(std::memory_order_relaxed));
     }
     if (child.level >= n) return;
     const std::uint64_t ub =
         knapsack_bound(inst, child.level, child.weight, child.profit);
+    // order: relaxed — speculative prune, as in the basic variant.
     if (ub > incumbent.load(std::memory_order_relaxed)) {
       const TaskHandle h =
           handle.spawn_tracked({-static_cast<double>(ub), child});
@@ -317,6 +328,7 @@ BnbRun bnb_parallel_speculative(const KnapsackInstance& inst,
         auto& list = tracked[handle.place_index()].v;
         list.push_back({ub, h});
         if (list.size() >= kSweepAt) {
+          // order: relaxed — sweep threshold; see above.
           sweep(handle, incumbent.load(std::memory_order_relaxed));
         }
       }
@@ -327,6 +339,8 @@ BnbRun bnb_parallel_speculative(const KnapsackInstance& inst,
                     const BnbTask& task) -> bool {
     const BnbNode node = task.payload;
     const auto ub = static_cast<std::uint64_t>(-task.priority);
+    // order: relaxed — pop-side dominance re-check, same contract as the
+    // basic variant: staleness costs work, not safety.
     if (ub <= incumbent.load(std::memory_order_relaxed)) return false;
     if (node.weight + inst.weight[node.level] <= inst.capacity) {
       spawn_child(handle,
@@ -345,6 +359,7 @@ BnbRun bnb_parallel_speculative(const KnapsackInstance& inst,
       storage, k_policy,
       {BnbTask{-static_cast<double>(root_ub), BnbNode{0, 0, 0}}}, expand,
       stats);
+  // order: relaxed — quiescent read; run_relaxed joined the workers.
   run.best_profit = incumbent.load(std::memory_order_relaxed);
   run.expanded = run.runner.expanded;
   run.pruned = run.runner.wasted;

@@ -137,7 +137,9 @@ namespace detail {
 /// successor and raise the entry before the spawner's own store lands,
 /// and that later value must survive.
 inline void store_max(std::atomic<double>& a, double v) {
-  double cur = a.load(std::memory_order_relaxed);
+  double cur = a.load(std::memory_order_relaxed);  // order: relaxed — CAS seed
+  // order: relaxed (failure) — the CAS reloads cur for the retry;
+  // success is release so a floor reader sees the event spawned before.
   while (cur < v &&
          !a.compare_exchange_weak(cur, v, std::memory_order_release,
                                   std::memory_order_relaxed)) {
@@ -244,6 +246,7 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
 
   std::vector<std::atomic<std::uint64_t>> counts(
       std::max<std::uint32_t>(p.stations, 1));
+  // order: relaxed — single-threaded init before workers start.
   for (auto& c : counts) c.store(0, std::memory_order_relaxed);
   std::atomic<std::uint64_t> checksum{0};
   std::atomic<std::uint64_t> events{0};
@@ -268,7 +271,7 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
   std::atomic<std::uint64_t> floor_loads{0};
   for (std::uint32_t c = 0; c < p.chains; ++c) {
     const double t0 = des_initial_time(p, c);
-    chain_time[c].store(t0, std::memory_order_relaxed);
+    chain_time[c].store(t0, std::memory_order_relaxed);  // order: relaxed — init
     if (hier_floor) floor_index->note_min(c / 64, t0);
     seeds.push_back({t0, {c, 0, 0}});
   }
@@ -280,6 +283,8 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
     const std::size_t hi = std::min(chain_time.size(), lo + 64);
     double m = kInf;
     for (std::size_t c = lo; c < hi; ++c) {
+      // order: relaxed — monotone entries: a stale read only
+      // under-estimates the floor, which defers one event more.
       const double v = chain_time[c].load(std::memory_order_relaxed);
       if (v < m) m = v;
     }
@@ -312,20 +317,21 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
       double floor = kInf;
       if (hier_floor) {
         floor = floor_index->root();
-        floor_loads.fetch_add(1, std::memory_order_relaxed);
+        floor_loads.fetch_add(1, std::memory_order_relaxed);  // order: relaxed — counter
       } else {
         for (const auto& ct : chain_time) {
+          // order: relaxed — same monotone under-estimate as block_floor.
           const double v = ct.load(std::memory_order_relaxed);
           if (v < floor) floor = v;
         }
         floor_loads.fetch_add(chain_time.size(),
-                              std::memory_order_relaxed);
+                              std::memory_order_relaxed);  // order: relaxed — counter
       }
-      floor_checks.fetch_add(1, std::memory_order_relaxed);
+      floor_checks.fetch_add(1, std::memory_order_relaxed);  // order: relaxed — counter
       if (t > floor + p.window) {
         // Causality-window violation: lazy re-enqueue, same timestamp,
         // one more defer spent.
-        deferred.fetch_add(1, std::memory_order_relaxed);
+        deferred.fetch_add(1, std::memory_order_relaxed);  // order: relaxed — counter
         spawn_event(handle, {t, {ev.chain, ev.step, ev.defers + 1}});
         return false;
       }
@@ -334,20 +340,24 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
     // Committed-event inversion probe: only events that actually commit
     // move the high-water mark — a deferred far-future pop must not
     // count later in-window commits as inversions against it.
+    // order: relaxed — the high-water mark is a measurement cell (CAS-
+    // max below); an inversion verdict may lag a racing commit, which is
+    // exactly the approximate-order statistic being measured.
     double hw = committed_high.load(std::memory_order_relaxed);
     if (t < hw) {
-      inversions.fetch_add(1, std::memory_order_relaxed);
+      inversions.fetch_add(1, std::memory_order_relaxed);  // order: relaxed — counter
     } else {
+      // order: relaxed — CAS-max on the measurement cell; see above.
       while (t > hw && !committed_high.compare_exchange_weak(
                            hw, t, std::memory_order_relaxed)) {
       }
     }
 
     const DesTransition tr = des_transition(p, ev.chain, ev.step, t);
-    counts[tr.station].fetch_add(1, std::memory_order_relaxed);
+    counts[tr.station].fetch_add(1, std::memory_order_relaxed);  // order: relaxed — counter
     checksum.fetch_add(detail::des_fingerprint(ev.chain, ev.step, t),
-                       std::memory_order_relaxed);
-    events.fetch_add(1, std::memory_order_relaxed);
+                       std::memory_order_relaxed);  // order: relaxed — commutative sum
+    events.fetch_add(1, std::memory_order_relaxed);  // order: relaxed — counter
     // Spawn BEFORE raising chain_time (ordering invariant, header
     // comment): a raised entry must never describe an event nobody can
     // pop yet.  store_max, not store — the successor's worker may have
@@ -362,7 +372,7 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
       const std::size_t b = ev.chain / 64;
       std::uint64_t loads = 0;
       floor_index->heal_block(b, [&] { return block_floor(b, &loads); });
-      floor_loads.fetch_add(loads, std::memory_order_relaxed);
+      floor_loads.fetch_add(loads, std::memory_order_relaxed);  // order: relaxed — counter
     }
     return true;
   };
@@ -371,16 +381,17 @@ DesRun des_parallel(const DesParams& p, Storage& storage, KPolicy k_policy,
   run.runner = run_relaxed(storage, k_policy, seeds, expand, stats,
                            std::forward<PopHook>(hook),
                            expiry ? &wheel : nullptr);
+  // order: relaxed (result reads) — at quiescence, workers joined.
   run.deferred = deferred.load(std::memory_order_relaxed);
-  run.inversions = inversions.load(std::memory_order_relaxed);
-  run.floor_checks = floor_checks.load(std::memory_order_relaxed);
-  run.floor_loads = floor_loads.load(std::memory_order_relaxed);
-  run.outcome.events = events.load(std::memory_order_relaxed);
-  run.outcome.checksum = checksum.load(std::memory_order_relaxed);
+  run.inversions = inversions.load(std::memory_order_relaxed);  // order: relaxed — see above
+  run.floor_checks = floor_checks.load(std::memory_order_relaxed);  // order: relaxed — see above
+  run.floor_loads = floor_loads.load(std::memory_order_relaxed);  // order: relaxed — see above
+  run.outcome.events = events.load(std::memory_order_relaxed);  // order: relaxed — see above
+  run.outcome.checksum = checksum.load(std::memory_order_relaxed);  // order: relaxed — see above
   run.outcome.station_counts.resize(counts.size());
   for (std::size_t s = 0; s < counts.size(); ++s) {
     run.outcome.station_counts[s] =
-        counts[s].load(std::memory_order_relaxed);
+        counts[s].load(std::memory_order_relaxed);  // order: relaxed — quiescent
   }
   return run;
 }

@@ -138,6 +138,8 @@ class RunnerHandle {
   /// acq_rel, like the worker's post-expand decrement, because this
   /// decrement too may be the one that releases a terminating peer.
   void spawn(task_type task) {
+    // order: relaxed — optimistic increment; only the DECREMENT side can
+    // release a terminating peer, so only it needs acq_rel.
     pending_->fetch_add(1, std::memory_order_relaxed);
     const auto out = storage_->try_push(*place_, *k_, std::move(task));
     if (!out.accepted || out.shed.has_value()) {
@@ -149,6 +151,7 @@ class RunnerHandle {
   /// child itself was rejected/shed, or lifecycle is off).  Same pending
   /// accounting: a valid handle means the child resides in the storage.
   TaskHandle spawn_tracked(task_type task) {
+    // order: relaxed — same optimistic-increment contract as spawn().
     pending_->fetch_add(1, std::memory_order_relaxed);
     const auto out = storage_->try_push(*place_, *k_, std::move(task));
     if (!out.accepted || out.shed.has_value()) {
@@ -183,6 +186,7 @@ class RunnerHandle {
 
   /// Logical now: claimed pops so far, runner-wide.  0 without a wheel.
   std::uint64_t now() const {
+    // order: relaxed — monotone logical clock; callers only compare.
     return ticks_ ? ticks_->load(std::memory_order_relaxed) : 0;
   }
 
@@ -264,6 +268,7 @@ RunnerResult run_relaxed(Storage& storage, const Policy& policy,
     const auto out = storage.try_push(storage.place(i % P),
                                       locals[i % P].current_k, seeds[i]);
     if (!out.accepted || out.shed.has_value()) {
+      // order: relaxed — still single-threaded (workers not yet started).
       pending.fetch_sub(1, std::memory_order_relaxed);
     }
   }
@@ -334,6 +339,8 @@ RunnerResult run_relaxed(Storage& storage, const Policy& policy,
       idle.reset();
 
       if (wheel) {
+        // order: relaxed — the pop clock is a monotone counter; wheel
+        // entries carry no payload through it.
         const std::uint64_t now =
             ticks.fetch_add(1, std::memory_order_relaxed) + 1;
         const std::size_t fired = wheel->advance(now, fire);

@@ -1,0 +1,4 @@
+// Fixture: header hygiene violations — no pragma once, iostream include.
+#include <iostream>
+
+inline void noisy() {}

@@ -1,0 +1,28 @@
+// Fixture: memory-order sites with and without justification tags.
+#pragma once
+
+#include <atomic>
+
+inline int load_untagged(std::atomic<int>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+
+inline int load_tagged(std::atomic<int>& a) {
+  // order: relaxed — fixture: this one is justified.
+  return a.load(std::memory_order_relaxed);
+}
+
+inline int load_tagged_multiline(std::atomic<int>& a) {
+  // order: relaxed — fixture: reachable through the continuation walk.
+  const int v =
+      a.load(std::memory_order_relaxed);
+  return v;
+}
+
+inline void fence_untagged() {
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+inline void seam_untagged() {
+  KPS_FAILPOINT("undocumented.seam");
+}

@@ -1,0 +1,7 @@
+// Fixture: counter glossary array with one undocumented entry.
+#pragma once
+
+inline constexpr const char* kCounterNames[2] = {
+    "tasks_spawned",
+    "mystery_counter",
+};

@@ -1,0 +1,7 @@
+// Fixture: trace-event name array with one undocumented entry.
+#pragma once
+
+inline constexpr const char* kTraceEvNames[2] = {
+    "push",
+    "phantom.event",
+};

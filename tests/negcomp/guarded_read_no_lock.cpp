@@ -1,0 +1,21 @@
+// Negative-compilation fixture: reading a KPS_GUARDED_BY field without
+// holding its lock.  Under Clang with -Werror=thread-safety this TU must
+// NOT compile (ctest runs it through -fsyntax-only with WILL_FAIL TRUE);
+// if it ever starts compiling, the annotation plumbing has gone dead —
+// most likely KPS_TSA expanding to nothing under a compiler that should
+// support it.  See guarded_read_with_lock.cpp for the passing twin.
+#include "support/mutex.hpp"
+#include "support/thread_safety.hpp"
+
+namespace {
+
+struct Guarded {
+  kps::Mutex m;
+  int value KPS_GUARDED_BY(m) = 0;
+};
+
+int read_without_lock(Guarded& g) {
+  return g.value;  // error: reading 'value' requires holding mutex 'm'
+}
+
+}  // namespace

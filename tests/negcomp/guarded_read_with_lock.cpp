@@ -1,0 +1,20 @@
+// Positive control for guarded_read_no_lock.cpp: the identical read under
+// a MutexGuard must compile clean with the same -Werror=thread-safety
+// flags.  If THIS fails, the negative test's failure is meaningless (bad
+// include path, broken macro header), so ctest runs both.
+#include "support/mutex.hpp"
+#include "support/thread_safety.hpp"
+
+namespace {
+
+struct Guarded {
+  kps::Mutex m;
+  int value KPS_GUARDED_BY(m) = 0;
+};
+
+int read_with_lock(Guarded& g) {
+  kps::MutexGuard lk(g.m);
+  return g.value;
+}
+
+}  // namespace
