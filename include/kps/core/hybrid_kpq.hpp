@@ -28,6 +28,24 @@
 //              idle places would stall until the next publish
 //              (ablation A2 measures exactly this).
 //
+// Mailbox publish (PR 10, cfg.mailbox — the default): the spinlocked
+// shared-shard published tier above is replaced by per-place bounded
+// MPSC inbox rings (support/mpsc_ring.hpp).  A publish splits the
+// flushed run into pre-sorted segments of at most publish_batch tasks
+// and MAILS each one to a peer's inbox (round-robin, self at P = 1); an
+// inbox entry IS a segment.  The owner folds all pending inbox entries
+// into its own segment store at pop time, flat-combining style, so only
+// the owner ever mutates its structures — and does so cache-hot.  A
+// full inbox never blocks: the publisher keeps the run and self-folds
+// it (counter inbox_full_fallbacks).  Cross-place pulls go through the
+// existing spy tier, which in mailbox mode claims from the victim's
+// whole owner-folded store (heap, segment heads, cold heap) under the
+// victim's private lock — no place ever acquires another's shard
+// spinlock; in fact no mailbox-mode path touches pub_lock at all
+// (witness counter: shard_locks stays 0).  The legacy tier remains
+// selectable (cfg.mailbox = false, or registry name "hybrid_shard")
+// as the A/B arm for ablation A20.
+//
 // Lifecycle (PR 7): every container of every tier holds LcEntry, so a
 // task's control block rides along through publish flushes, segment
 // ingests, spills, and spies — a handle issued at push time stays
@@ -57,6 +75,7 @@
 #include "core/task_types.hpp"
 #include "queues/dary_heap.hpp"
 #include "support/failpoint.hpp"
+#include "support/mpsc_ring.hpp"
 #include "support/rng.hpp"
 #include "support/spinlock.hpp"
 #include "support/stats.hpp"
@@ -129,12 +148,55 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     // Spill scratch: touched only inside maybe_spill_segments (pub_lock).
     std::vector<SegHead> spill_buf KPS_GUARDED_BY(pub_lock);
 
+    // ---- Mailbox tier (cfg.mailbox; unused in legacy mode) ----------
+    // The owner's bounded MPSC inbox: peers commit pre-sorted runs, the
+    // owner folds them at pop time.  The ring is its own synchronization
+    // (reserve/commit protocol), so it needs no capability.
+    MpscRing<std::vector<Entry>> inbox;
+    // Advisory minimum over unfolded inbox entries: CAS-min'd by
+    // appenders, reset by the owner's fold.  A hint, like pub_min — a
+    // stale value misroutes a redirect, never loses a task.
+    std::atomic<double> inbox_min{kEmptyMin};
+    // Owner-only round-robin cursor for publish targets (same ownership
+    // argument as flush_buf).
+    std::uint64_t publish_cursor = 0;
+    // Owner-only staging of recycled run capacity for dispatch_runs:
+    // topped up from mb_run_pool while the publish still holds
+    // private_lock, drawn after it drops (same ownership argument as
+    // flush_buf).  Closes the buffer cycle mail → fold → claim →
+    // recycle → next mail, so a steady-state publish allocates nothing.
+    std::vector<std::vector<Entry>> mail_pool;
+    // Owner-folded store: segments from folded inbox entries plus a cold
+    // heap fed by the mailbox spill policy.  Everything below is mutated
+    // only under private_lock (by the owner on fold/claim, by a spy that
+    // won the try_lock), so the private tier's capability covers it.
+    std::vector<Segment> mb_segments KPS_GUARDED_BY(private_lock);
+    std::vector<std::uint32_t> mb_segment_free KPS_GUARDED_BY(private_lock);
+    DaryHeap<SegHead, SegHeadLess, 4> mb_seg_index
+        KPS_GUARDED_BY(private_lock);
+    std::vector<std::vector<Entry>> mb_run_pool KPS_GUARDED_BY(private_lock);
+    DaryHeap<Entry, detail::LcEntryLess, 4> mb_cold_heap
+        KPS_GUARDED_BY(private_lock);
+    std::vector<SegHead> mb_spill_buf KPS_GUARDED_BY(private_lock);
+    // Mirrors cfg.mailbox so Place-local helpers need no config pointer.
+    bool mailbox = false;
+
     void publish_private_min() KPS_REQUIRES(private_lock) {
-      private_min.store(
-          private_heap.empty()
-              ? kEmptyMin
-              : static_cast<double>(private_heap.top().task.priority),
-          std::memory_order_release);
+      double m = private_heap.empty()
+                     ? kEmptyMin
+                     : static_cast<double>(private_heap.top().task.priority);
+      if (mailbox) {
+        // The advertised "private" minimum of a mailbox place covers its
+        // whole owner-folded store: spies can claim from any of it.
+        if (!mb_seg_index.empty() && mb_seg_index.top().priority < m) {
+          m = mb_seg_index.top().priority;
+        }
+        if (!mb_cold_heap.empty() &&
+            static_cast<double>(mb_cold_heap.top().task.priority) < m) {
+          m = static_cast<double>(mb_cold_heap.top().task.priority);
+        }
+      }
+      private_min.store(m, std::memory_order_release);
     }
     /// Best task anywhere in this shard (heap or a segment head).
     double shard_min() const KPS_REQUIRES(pub_lock) {
@@ -155,6 +217,12 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
       : cfg_(cfg), places_(places ? places : 1) {
     stats = detail::resolve_stats(places_.size(), stats, owned_stats_);
     detail::init_places(places_, cfg_, stats);
+    if (cfg_.mailbox) {
+      for (Place& p : places_) {
+        p.mailbox = true;
+        p.inbox.init(static_cast<std::size_t>(cfg_.inbox_slots));
+      }
+    }
     gate_.init(cfg_);
     this->ledger_.init(cfg_.enable_lifecycle, cfg_.queue_delay,
                        cfg_.delay_sample);
@@ -183,9 +251,17 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
           return out;
         }
         p.private_lock.unlock();
+      } else if (cfg_.mailbox) {
+        // Mailbox shed tier stays strictly place-local: the private heap
+        // only.  Folded segments are published work in flight — ranking
+        // their tails would cost an O(S) scan for a path whose contract
+        // is "cheaply reachable worst" — so an empty private heap sheds
+        // the incoming task.
+        p.private_lock.unlock();
       } else {
         p.private_lock.unlock();
         p.pub_lock.lock();
+        p.counters->inc(Counter::shard_locks);
         if (detail::displace_worst(p.pub_heap, task, this->ledger_, p,
                                    &out)) {
           p.publish_pub_min();
@@ -207,9 +283,14 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     p.counters->inc(Counter::tasks_spawned);
     detail::trace_ev(p, TraceEv::push);
     gate_.add(1);
+    if (cfg_.mailbox) {
+      push_accepted_mailbox(p, k, std::move(task), handle);
+      return;
+    }
     if (k <= 0) {
       // k = 0: no relaxation budget — every push is its own publish.
       p.pub_lock.lock();
+      p.counters->inc(Counter::shard_locks);
       p.pub_heap.push(this->ledger_.wrap(std::move(task), handle));
       p.publish_pub_min();
       p.pub_lock.unlock();
@@ -260,6 +341,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
 
     const std::size_t flushed = p.flush_buf.size();
     p.pub_lock.lock();
+    p.counters->inc(Counter::shard_locks);
     if (batched) {
       const auto batch = static_cast<std::size_t>(cfg_.publish_batch);
       if (flushed <= batch) {
@@ -286,8 +368,176 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
                      static_cast<std::uint32_t>(flushed));
   }
 
+  /// Mailbox-mode accepted push: private heap as usual; at the publish
+  /// threshold (or immediately at k <= 0) the private heap is flushed as
+  /// one ascending run and mailed out in publish_batch-sized segments.
+  void push_accepted_mailbox(Place& p, int k, TaskT task,
+                             TaskHandle* handle) {
+    p.private_lock.lock();
+    p.private_heap.push(this->ledger_.wrap(std::move(task), handle));
+    ++p.pushes_since_publish;
+    // Same deferral semantics as the legacy path: an injected attempt
+    // failure postpones the publish without resetting the counter.
+    const bool publish =
+        (k <= 0 ||
+         (cfg_.structural_relaxation
+              ? p.private_heap.size() >= static_cast<std::size_t>(k)
+              : p.pushes_since_publish >= static_cast<std::uint64_t>(k))) &&
+        !KPS_FAILPOINT_FAIL("hybrid.publish.attempt");
+    if (!publish) {
+      p.publish_private_min();
+      p.private_lock.unlock();
+      return;
+    }
+
+    p.flush_buf.clear();
+    p.private_heap.extract_sorted_segment(p.flush_buf);
+    p.pushes_since_publish = 0;
+    p.publish_private_min();
+    const auto batch = static_cast<std::size_t>(
+        cfg_.publish_batch > 1 ? cfg_.publish_batch : 1);
+    mb_stage_mail_buffers(p, (p.flush_buf.size() + batch - 1) / batch);
+    p.private_lock.unlock();
+
+    // Same seam as the legacy flush: between here and the inbox commits
+    // the flushed tasks live only in flush_buf.
+    KPS_FAILPOINT("hybrid.publish.flush");
+
+    const std::size_t flushed = p.flush_buf.size();
+    dispatch_runs(p);
+    p.counters->inc(Counter::publishes);
+    p.counters->inc(Counter::published_items, flushed);
+    detail::trace_ev(p, TraceEv::publish,
+                     static_cast<std::uint32_t>(flushed));
+  }
+
+  /// Split the ascending flush into segments of at most publish_batch
+  /// tasks and mail each one; successive segments rotate over targets so
+  /// one large flush spreads instead of flooding a single peer.
+  void dispatch_runs(Place& p) {
+    const auto batch = static_cast<std::size_t>(
+        cfg_.publish_batch > 1 ? cfg_.publish_batch : 1);
+    const std::size_t flushed = p.flush_buf.size();
+    for (std::size_t off = 0; off < flushed; off += batch) {
+      const std::size_t n = std::min(batch, flushed - off);
+      std::vector<Entry> run;
+      if (!p.mail_pool.empty()) {
+        run = std::move(p.mail_pool.back());
+        p.mail_pool.pop_back();
+      }
+      run.reserve(n);
+      run.insert(run.end(),
+                 std::make_move_iterator(p.flush_buf.begin() +
+                                         static_cast<std::ptrdiff_t>(off)),
+                 std::make_move_iterator(p.flush_buf.begin() +
+                                         static_cast<std::ptrdiff_t>(off + n)));
+      mail_run(p, std::move(run));
+    }
+  }
+
+  /// Round-robin publish target over the peers; self only at P = 1
+  /// (publishing means sharing — a solo place folds its own mail).
+  Place& pick_target(Place& p) {
+    const std::size_t n = places_.size();
+    if (n == 1) return p;
+    const std::size_t offset = 1 + (p.publish_cursor++ % (n - 1));
+    return places_[(p.index + offset) % n];
+  }
+
+  /// CAS-min the target's advisory inbox minimum after a commit.
+  static void note_inbox_min(Place& target, double best) {
+    // order: relaxed — advisory minimum only; the ring commit's release
+    // store already published the run, this just tunes the redirect hint.
+    double cur = target.inbox_min.load(std::memory_order_relaxed);
+    while (best < cur &&
+           // order: relaxed — same advisory-minimum argument; a lost CAS
+           // reloads and retries, a stale win misroutes one redirect.
+           !target.inbox_min.compare_exchange_weak(
+               cur, best, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Mail one pre-sorted run.  Full-ring fallback: the publisher keeps
+  /// the run and folds it into its OWN segment store — tasks never block
+  /// and never drop, the inbox bound degrades into local accumulation
+  /// (still advertised via private_min, still spy-claimable).
+  void mail_run(Place& p, std::vector<Entry> run) {
+    Place& target = pick_target(p);
+    const double best = static_cast<double>(run.front().task.priority);
+    // Seam first: an injected append failure exercises the full-ring
+    // fallback without actually filling inbox_slots slots.
+    const bool appended = !KPS_FAILPOINT_FAIL("hybrid.inbox.append") &&
+                          target.inbox.try_push(std::move(run));
+    if (appended) {
+      note_inbox_min(target, best);
+      p.counters->inc(Counter::inbox_appends);
+      detail::trace_ev(p, TraceEv::inbox_append,
+                       static_cast<std::uint64_t>(target.index));
+      refresh_global_pub_min();
+      return;
+    }
+    p.counters->inc(Counter::inbox_full_fallbacks);
+    detail::trace_ev(p, TraceEv::inbox_full,
+                     static_cast<std::uint64_t>(target.index));
+    p.private_lock.lock();
+    mb_ingest_sorted_run_swap(p, run);
+    p.counters->inc(Counter::segment_merges);
+    mb_maybe_spill_segments(p);
+    p.publish_private_min();
+    // The swap left the replaced segment's old capacity in `run`.
+    mb_recycle_run(p, std::move(run));
+    p.private_lock.unlock();
+    refresh_global_pub_min();
+  }
+
+  /// Owner fold: drain every pending inbox entry into this place's own
+  /// segment store, flat-combining style.  Bounded to one ring's worth
+  /// of entries per pass so a pop's latency stays bounded even while
+  /// producers keep appending.
+  void fold_inbox(Place& p) {
+    if (!p.inbox.maybe_nonempty()) return;
+    // Reset the advisory minimum BEFORE draining: appends landing mid-
+    // fold re-advertise themselves; entries we drain are re-advertised
+    // via private_min below.  A racing CAS-min from an already-drained
+    // entry leaves a stale-low hint — one wasted redirect, never a lost
+    // task.
+    // order: relaxed — advisory minimum, see note_inbox_min.
+    p.inbox_min.store(kEmptyMin, std::memory_order_relaxed);
+    std::vector<Entry> run;
+    std::size_t folded = 0;
+    const std::size_t limit = p.inbox.capacity();
+    p.private_lock.lock();
+    // Seam: stretch the fold critical section (private_lock held) so
+    // racing spies pile up on the owner during the fold.
+    KPS_FAILPOINT("hybrid.inbox.fold");
+    while (folded < limit) {
+      if (run.capacity() != 0) {
+        // Swapped-out segment capacity from the previous lap; bank it
+        // before try_pop's move-assign would free it.
+        mb_recycle_run(p, std::move(run));
+        run = std::vector<Entry>();
+      }
+      if (!p.inbox.try_pop(run)) break;
+      mb_ingest_sorted_run_swap(p, run);
+      p.counters->inc(Counter::segment_merges);
+      ++folded;
+    }
+    if (folded > 0) {
+      mb_maybe_spill_segments(p);
+      p.publish_private_min();
+    }
+    p.private_lock.unlock();
+    if (folded > 0) {
+      p.counters->inc(Counter::inbox_folds);
+      detail::trace_ev(p, TraceEv::inbox_fold,
+                       static_cast<std::uint64_t>(folded));
+      refresh_global_pub_min();
+    }
+  }
+
  public:
   std::optional<TaskT> pop(Place& p) {
+    if (cfg_.mailbox) return pop_mailbox(p);
     // Fast path: own private best, unless the published tier visibly holds
     // something better (the check keeps realized rank error small).  One
     // acquire load of the cached global minimum — the O(P) shard sweep
@@ -378,11 +628,37 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
   /// published tier), never loses a task.
   void refresh_global_pub_min() {
     double best = kEmptyMin;
-    for (const Place& q : places_) {
-      const double m = q.pub_min.load(std::memory_order_acquire);
-      if (m < best) best = m;
+    if (cfg_.mailbox) {
+      // Mailbox mode: the "published tier" is the union of advertised
+      // owner-folded stores and unfolded inbox entries.
+      for (const Place& q : places_) {
+        const double pm = q.private_min.load(std::memory_order_acquire);
+        if (pm < best) best = pm;
+        const double im = q.inbox_min.load(std::memory_order_acquire);
+        if (im < best) best = im;
+      }
+    } else {
+      for (const Place& q : places_) {
+        const double m = q.pub_min.load(std::memory_order_acquire);
+        if (m < best) best = m;
+      }
     }
     global_pub_min_.store(best, std::memory_order_release);
+  }
+
+  /// Best live advert of any place OTHER than `p`: the mailbox redirect
+  /// verification (the shared cache can be stale from p's own claims, so
+  /// a redirect is only taken against a live foreign reading).
+  double best_foreign_advert(const Place& p) const {
+    double best = kEmptyMin;
+    for (std::size_t i = 0; i < places_.size(); ++i) {
+      if (i == p.index) continue;
+      const double pm = places_[i].private_min.load(std::memory_order_acquire);
+      if (pm < best) best = pm;
+      const double im = places_[i].inbox_min.load(std::memory_order_acquire);
+      if (im < best) best = im;
+    }
+    return best;
   }
 
   std::size_t best_published_place() const {
@@ -489,6 +765,224 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     shard.counters->inc(Counter::segment_spills);
   }
 
+  // ----------------------------------------------------------------
+  // Mailbox-mode owner-folded store.  Deliberate mirrors of the shard
+  // helpers above, but guarded by private_lock: a single field cannot
+  // carry two capabilities, and the whole point of the mailbox tier is
+  // that these structures live under the owner's own lock.
+
+  /// Return a run buffer's capacity to the owner's pool.  Retention is
+  /// capped at one ring's worth: inflow is unbounded for a place that
+  /// receives more mail than it sends (the flood victim), and beyond the
+  /// ring capacity a publish burst can never draw more anyway.
+  void mb_recycle_run(Place& p, std::vector<Entry>&& run)
+      KPS_REQUIRES(p.private_lock) {
+    if (p.mb_run_pool.size() < p.inbox.capacity()) {
+      run.clear();
+      p.mb_run_pool.push_back(std::move(run));
+    }
+  }
+
+  /// Top up the owner's mail_pool to `chunks` staged buffers from
+  /// mb_run_pool.  Called with private_lock already held on the publish
+  /// path; dispatch_runs then draws lock-free (mail_pool is owner-only).
+  void mb_stage_mail_buffers(Place& p, std::size_t chunks)
+      KPS_REQUIRES(p.private_lock) {
+    while (p.mail_pool.size() < chunks && !p.mb_run_pool.empty()) {
+      p.mail_pool.push_back(std::move(p.mb_run_pool.back()));
+      p.mb_run_pool.pop_back();
+    }
+  }
+
+  std::uint32_t mb_acquire_segment(Place& p) KPS_REQUIRES(p.private_lock) {
+    if (!p.mb_segment_free.empty()) {
+      const std::uint32_t slot = p.mb_segment_free.back();
+      p.mb_segment_free.pop_back();
+      return slot;
+    }
+    p.mb_segments.emplace_back();
+    return static_cast<std::uint32_t>(p.mb_segments.size() - 1);
+  }
+
+  void mb_commit_segment(Place& p, std::uint32_t slot)
+      KPS_REQUIRES(p.private_lock) {
+    Segment& s = p.mb_segments[slot];
+    s.head = 0;
+    p.mb_seg_index.push(
+        {static_cast<double>(s.run.front().task.priority), slot});
+  }
+
+  /// Fold one mailed run into the owner's segment store — the vector is
+  /// swapped in whole (an inbox entry IS a segment), O(log S) against
+  /// the head index.
+  void mb_ingest_sorted_run_swap(Place& p, std::vector<Entry>& run_buf)
+      KPS_REQUIRES(p.private_lock) {
+    const std::uint32_t slot = mb_acquire_segment(p);
+    Segment& s = p.mb_segments[slot];
+    s.run.clear();
+    std::swap(s.run, run_buf);
+    mb_commit_segment(p, slot);
+  }
+
+  /// Mailbox spill policy: same trigger and keep-the-hot-half shape as
+  /// the shard spill, but the cold tasks fold into the owner's COLD heap
+  /// — never back into the private heap, which is the republish source
+  /// (cold tasks must not ping-pong through the mail forever).
+  void mb_maybe_spill_segments(Place& p) KPS_REQUIRES(p.private_lock) {
+    if (cfg_.max_segments <= 0) return;
+    const auto limit = static_cast<std::size_t>(cfg_.max_segments);
+    if (p.mb_seg_index.size() <= limit) return;
+    // Seam shared with the shard spill: stretch the critical section
+    // (private_lock held) so racing spies pile up during the fold.
+    KPS_FAILPOINT("hybrid.spill");
+    auto& heads = p.mb_spill_buf;
+    heads.clear();
+    while (!p.mb_seg_index.empty()) {
+      heads.push_back(p.mb_seg_index.pop());  // ascending head priority
+    }
+    const std::size_t keep = std::max<std::size_t>(limit / 2, 1);
+    for (std::size_t i = 0; i < keep; ++i) p.mb_seg_index.push(heads[i]);
+    for (std::size_t i = keep; i < heads.size(); ++i) {
+      Segment& s = p.mb_segments[heads[i].seg];
+      for (std::size_t j = s.head; j < s.run.size(); ++j) {
+        p.mb_cold_heap.push(std::move(s.run[j]));
+      }
+      mb_recycle_run(p, std::move(s.run));
+      s.run = std::vector<Entry>();
+      s.head = 0;
+      p.mb_segment_free.push_back(heads[i].seg);
+    }
+    p.counters->inc(Counter::segment_spills);
+  }
+
+  /// Best task anywhere in the owner-folded store (private heap, segment
+  /// heads, cold heap); kEmptyMin when all three are empty.
+  double mb_best(const Place& p) const KPS_REQUIRES(p.private_lock) {
+    double m = p.private_heap.empty()
+                   ? kEmptyMin
+                   : static_cast<double>(p.private_heap.top().task.priority);
+    if (!p.mb_seg_index.empty() && p.mb_seg_index.top().priority < m) {
+      m = p.mb_seg_index.top().priority;
+    }
+    if (!p.mb_cold_heap.empty() &&
+        static_cast<double>(p.mb_cold_heap.top().task.priority) < m) {
+      m = static_cast<double>(p.mb_cold_heap.top().task.priority);
+    }
+    return m;
+  }
+
+  /// Extract the best entry of the owner-folded store (precondition: the
+  /// store is non-empty).  A consumed segment head advances exactly like
+  /// the shard path's; an exhausted segment recycles slot and capacity.
+  Entry mb_claim_best(Place& p) KPS_REQUIRES(p.private_lock) {
+    const double hm =
+        p.private_heap.empty()
+            ? kEmptyMin
+            : static_cast<double>(p.private_heap.top().task.priority);
+    const double sm =
+        p.mb_seg_index.empty() ? kEmptyMin : p.mb_seg_index.top().priority;
+    const double cm =
+        p.mb_cold_heap.empty()
+            ? kEmptyMin
+            : static_cast<double>(p.mb_cold_heap.top().task.priority);
+    if (sm <= hm && sm <= cm) {
+      const SegHead h = p.mb_seg_index.pop();
+      Segment& s = p.mb_segments[h.seg];
+      Entry e = std::move(s.run[s.head]);
+      ++s.head;
+      if (s.head < s.run.size()) {
+        p.mb_seg_index.push(
+            {static_cast<double>(s.run[s.head].task.priority), h.seg});
+      } else {
+        mb_recycle_run(p, std::move(s.run));
+        s.run = std::vector<Entry>();
+        s.head = 0;
+        p.mb_segment_free.push_back(h.seg);
+      }
+      return e;
+    }
+    if (hm <= cm) return p.private_heap.pop();
+    return p.mb_cold_heap.pop();
+  }
+
+  /// Mailbox-mode pop: fold the inbox, claim the own best bounded by the
+  /// advertised foreign best (spy redirect), fall back to draining own
+  /// work when the redirect races away.  No pub_lock anywhere.
+  std::optional<TaskT> pop_mailbox(Place& p) {
+    fold_inbox(p);
+    bool saw_tasks = false;
+    bool redirected = false;
+    p.private_lock.lock();
+    for (;;) {
+      const double mine = mb_best(p);
+      if (mine == kEmptyMin) break;
+      if (global_pub_min_.load(std::memory_order_acquire) < mine) {
+        // The hint claims a better advert somewhere.  Verify against the
+        // live foreign adverts — our own claims make the shared cache go
+        // stale-low, and only a confirmed foreign reading is worth the
+        // spy detour.
+        const double foreign = best_foreign_advert(p);
+        if (foreign < mine) {
+          redirected = true;
+          break;
+        }
+        // Quiet the stale hint.  The store deliberately excludes our own
+        // advert so our next claims do not re-trigger the O(P) verify;
+        // events (publish, fold, spy miss) restore the full sweep.
+        global_pub_min_.store(foreign, std::memory_order_release);
+      }
+      Entry e = mb_claim_best(p);
+      p.publish_private_min();
+      if (this->ledger_.claim_popped(e, p.index)) {
+        p.private_lock.unlock();
+        gate_.add(-1);
+        p.counters->inc(Counter::tasks_executed);
+        detail::trace_ev(p, TraceEv::pop);
+        return std::move(e.task);
+      }
+      p.counters->inc(Counter::tombstones_reaped);
+      gate_.add(-1);
+    }
+    const bool had_own = mb_best(p) != kEmptyMin;
+    p.private_lock.unlock();
+    if (redirected) saw_tasks = true;
+
+    // Spy: the one cross-place pull.  In mailbox mode it claims from the
+    // victim's whole owner-folded store under the victim's private lock.
+    if (cfg_.enable_spying) {
+      if (auto out = spy(p, saw_tasks)) {
+        gate_.add(-1);
+        p.counters->inc(Counter::tasks_executed);
+        detail::trace_ev(p, TraceEv::pop);
+        return out;
+      }
+    }
+
+    // The redirect raced away (or spying is off): our own tasks remain
+    // this storage's obligation — drain unconditionally.
+    if (had_own) {
+      saw_tasks = true;
+      p.private_lock.lock();
+      while (mb_best(p) != kEmptyMin) {
+        Entry e = mb_claim_best(p);
+        p.publish_private_min();
+        if (this->ledger_.claim_popped(e, p.index)) {
+          p.private_lock.unlock();
+          gate_.add(-1);
+          p.counters->inc(Counter::tasks_executed);
+          detail::trace_ev(p, TraceEv::pop);
+          return std::move(e.task);
+        }
+        p.counters->inc(Counter::tombstones_reaped);
+        gate_.add(-1);
+      }
+      p.private_lock.unlock();
+    }
+
+    p.counters->inc(saw_tasks ? Counter::pop_contended : Counter::pop_empty);
+    return std::nullopt;
+  }
+
   /// Pop the best published task of `shard` on behalf of popping place
   /// `p` (whose counters take the reap credit).  Tombstones are consumed
   /// in place — a segment-head tombstone advances the head like any
@@ -498,6 +992,7 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     // shard (or gives up the attempt) exactly as under real contention.
     if (KPS_FAILPOINT_FAIL("hybrid.pop.published")) return std::nullopt;
     if (!shard.pub_lock.try_lock()) return std::nullopt;
+    p.counters->inc(Counter::shard_locks);
     std::optional<TaskT> out;
     bool touched = false;
     for (;;) {
@@ -560,8 +1055,17 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
     Place& victim = places_[idx];
     if (!victim.private_lock.try_lock()) return std::nullopt;
     std::optional<TaskT> out;
-    while (!victim.private_heap.empty()) {
-      Entry e = victim.private_heap.pop();
+    for (;;) {
+      Entry e;
+      if (cfg_.mailbox) {
+        // Mailbox spy claims from the victim's whole owner-folded store
+        // (heap, segment heads, cold heap) — the one cross-place pull.
+        if (mb_best(victim) == kEmptyMin) break;
+        e = mb_claim_best(victim);
+      } else {
+        if (victim.private_heap.empty()) break;
+        e = victim.private_heap.pop();
+      }
       victim.publish_private_min();
       if (this->ledger_.claim_popped(e, p.index)) {
         out = std::move(e.task);
@@ -571,6 +1075,11 @@ class HybridKpq : public LifecycleOps<HybridKpq<TaskT>, TaskT> {
       gate_.add(-1);
     }
     victim.private_lock.unlock();
+    if (cfg_.mailbox) {
+      // Spying is already the slow path; a refresh here retires stale
+      // hints (the victim we just probed may have drained).
+      refresh_global_pub_min();
+    }
     if (out) {
       p.counters->inc(Counter::spied_items);
       // Spy records on the SPY'S own ring (SPSC: one writer per ring);

@@ -94,6 +94,22 @@ struct StorageConfig {
   // <= 0 disables spilling (the PR-2 unbounded-accumulation behaviour).
   int max_segments = 64;
 
+  // Hybrid mailbox publish (PR 10): when on, a publish mails its
+  // pre-sorted runs to peer places' bounded MPSC inbox rings and each
+  // owner folds its inbox at pop time — no shard spinlock is ever taken
+  // on a cross-place path (DESIGN.md "Mailbox publish").  Off selects
+  // the legacy spinlocked shared-shard published tier, also reachable
+  // through the registry as the `hybrid_shard` storage name (the A/B
+  // arm ablation A20 measures against).
+  bool mailbox = true;
+
+  // Hybrid mailbox: bounded inbox capacity, in runs (one inbox entry is
+  // one pre-sorted segment of at most publish_batch tasks).  Rounded up
+  // to a power of two, minimum 2, by the ring.  A full inbox never
+  // blocks or drops: the publisher keeps the run and folds it into its
+  // own segment store instead (counter inbox_full_fallbacks).
+  int inbox_slots = 64;
+
   // Bounded-capacity backpressure (PR 6): an approximate cap on resident
   // tasks across the whole storage.  0 = unbounded (the default; the
   // capacity gate adds zero work to the hot path).  The count is kept by
@@ -167,6 +183,9 @@ struct StorageConfig {
     }
     if (multiqueue_factor == 0) {
       return "multiqueue_factor must be >= 1";
+    }
+    if (inbox_slots < 1) {
+      return "inbox_slots must be >= 1, got " + std::to_string(inbox_slots);
     }
     if (rank_probe < 0) {
       return "rank_probe must be >= 0 (0 disables), got " +

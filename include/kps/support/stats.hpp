@@ -45,6 +45,13 @@ enum class Counter : std::size_t {
                        // the detach half of every reprioritize)
   tombstones_reaped,   // lifecycle: tombstoned entries freed by pop/shed scans
   timers_fired,        // timer wheel: deadline actions delivered by the runner
+  inbox_appends,       // hybrid mailbox: runs committed into a peer's inbox
+  inbox_folds,         // hybrid mailbox: owner fold passes that drained >= 1 run
+  inbox_full_fallbacks,// hybrid mailbox: appends refused by a full ring
+                       // (publisher self-folds the run instead)
+  shard_locks,         // hybrid legacy: pub_lock acquisitions on the
+                       // push/publish/pop paths (mailbox A/B witness: 0
+                       // on every mailbox-mode path by construction)
   kCount
 };
 
@@ -64,6 +71,8 @@ inline constexpr const char* kCounterNames[kNumCounters] = {
     "min_heals",         "overflow_stale",   "segment_merges",
     "segment_spills",    "push_rejected",    "tasks_shed",
     "tasks_cancelled",   "tombstones_reaped", "timers_fired",
+    "inbox_appends",     "inbox_folds",      "inbox_full_fallbacks",
+    "shard_locks",
 };
 static_assert(sizeof(kCounterNames) / sizeof(kCounterNames[0]) ==
                   kNumCounters,

@@ -48,6 +48,9 @@ enum class TraceEv : std::uint16_t {
   cancel,      // lifecycle: residency tombstoned (arg = kCancel* code)
   timer_fire,  // timer wheel: deadline actions delivered (arg = count)
   stall,       // watchdog via telemetry: place stalled (arg = streak)
+  inbox_append,  // hybrid mailbox: run committed to an inbox (arg = target)
+  inbox_fold,    // hybrid mailbox: owner fold pass (arg = runs folded)
+  inbox_full,    // hybrid mailbox: append refused, self-fold (arg = target)
   kCount
 };
 
@@ -66,6 +69,9 @@ inline constexpr const char* kTraceEvNames[kNumTraceEvs] = {
     "lifecycle.cancel",      // tombstone (cancel or reprioritize-detach)
     "timer.fire",            // runner wheel advance delivered actions
     "watchdog.stall",        // sampling thread flagged a stalled place
+    "hybrid.inbox.append",   // mailbox run committed (emitter = publisher)
+    "hybrid.inbox.fold",     // mailbox fold pass (emitter = owner)
+    "hybrid.inbox.full",     // full-ring fallback (emitter = publisher)
 };
 
 inline const char* trace_ev_name(TraceEv e) {

@@ -98,7 +98,8 @@ void test_capability_registry() {
   const auto h = plain.try_push(plain.place(0), 4, {1.0, 1}).handle;
   assert(!h.valid());
   assert(!plain.cancel(plain.place(0), h));
-  std::printf("  capability registry matches behaviour (6 storages)\n");
+  std::printf("  capability registry matches behaviour (%zu storages)\n",
+              std::size(kStorageNames));
 }
 
 // ----------------------------------------- conservation under cancel churn

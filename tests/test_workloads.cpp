@@ -145,6 +145,9 @@ void test_segment_spill_unit() {
   cfg.default_k = 8;
   cfg.publish_batch = 2;
   cfg.max_segments = 4;
+  // Pinned to the legacy shard tier: this unit tests the SHARD spill
+  // mechanics (pub_lock side).  test_mailbox has the mailbox analog.
+  cfg.mailbox = false;
   StatsRegistry stats(1);
   HybridKpq<SsspTask> storage(1, cfg, &stats);
   auto& place = storage.place(0);
